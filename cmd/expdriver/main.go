@@ -1,0 +1,237 @@
+// Command expdriver regenerates every table and figure of the paper's
+// evaluation section and writes the results as text to stdout and,
+// optionally, as a markdown report (EXPERIMENTS.md).
+//
+// Usage:
+//
+//	expdriver [-full] [-only fig7,fig13] [-md EXPERIMENTS.md] [-seed N]
+//
+// The default "quick" profile runs every experiment at reduced scale in
+// well under a minute; -full uses the paper's scales (196 VMs, 1024-node
+// simulation, 100 repetitions) and takes considerably longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"netconstant/internal/exp"
+)
+
+type figure struct {
+	name string
+	desc string
+	run  func(cfg exp.Config) ([]*exp.Table, error)
+}
+
+var figures = []figure{
+	{"fig4", "calibration overhead vs #instances", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.Fig4Calibration(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table}, nil
+	}},
+	{"fig5", "long-term accuracy vs time step", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.Fig5TimeStep(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table}, nil
+	}},
+	{"fig6", "maintenance threshold sweep", func(cfg exp.Config) ([]*exp.Table, error) {
+		days := 2.0
+		if cfg.Runs >= 100 {
+			days = 7
+		}
+		r, err := exp.Fig6Threshold(cfg, nil, days)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table}, nil
+	}},
+	{"fig7", "overall EC2-style comparison + broadcast CDF", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.Fig7Overall(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table, r.CDFTable}, nil
+	}},
+	{"fig8", "improvement vs cluster size", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.Fig8ClusterSize(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table}, nil
+	}},
+	{"fig9a", "CG vs vector size", func(cfg exp.Config) ([]*exp.Table, error) {
+		sizes := []int{1000, 4000, 16000, 64000}
+		if cfg.Runs >= 100 {
+			sizes = []int{1000, 16000, 64000, 256000, 1024000}
+		}
+		r, err := exp.Fig9aCG(cfg, sizes)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table}, nil
+	}},
+	{"fig9b", "N-body vs #Step", func(cfg exp.Config) ([]*exp.Table, error) {
+		steps := []int{10, 40, 160, 640}
+		bodies := 128
+		if cfg.Runs >= 100 {
+			steps = []int{10, 40, 160, 640, 2560}
+			bodies = 256
+		}
+		r, err := exp.Fig9bNBodySteps(cfg, steps, bodies)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table}, nil
+	}},
+	{"fig9c", "N-body vs message size", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.Fig9cNBodyMsg(cfg, nil, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table}, nil
+	}},
+	{"fig10", "impact of Norm(N_E)", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.Fig10ErrorImpact(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.TableA, r.TableB}, nil
+	}},
+	{"fig11", "detailed study at Norm(N_E)=0.2", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.Fig11Detailed(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table, r.CDFTable}, nil
+	}},
+	{"fig12", "background traffic vs Norm(N_E)", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.Fig12Background(cfg, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.TableA, r.TableB}, nil
+	}},
+	{"fig13", "simulated-cluster comparison + CDF", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.Fig13Simulation(cfg, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table, r.CDFTable}, nil
+	}},
+	{"ext-econ", "economics of the optimization (paper future work)", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.ExtEconomics(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table}, nil
+	}},
+	{"ext-collectives", "all-to-all implementation comparison", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.ExtCollectives(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table}, nil
+	}},
+	{"ext-coords", "why network coordinates fail (quantified §IV-B)", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.ExtCoordinates(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table}, nil
+	}},
+	{"ext-solvers", "APG vs IALM agreement", func(cfg exp.Config) ([]*exp.Table, error) {
+		t, err := exp.ExtSolverAgreement(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{t}, nil
+	}},
+	{"ext-workflow", "scientific workflow scheduling (paper future work)", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.ExtWorkflow(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table}, nil
+	}},
+	{"accuracy", "trace-replay estimation accuracy (§V-D3)", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.AccuracyStudy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table}, nil
+	}},
+}
+
+func main() {
+	full := flag.Bool("full", false, "run at the paper's scale (196 VMs, 100 reps; slow)")
+	only := flag.String("only", "", "comma-separated figure list, e.g. fig7,fig13")
+	md := flag.String("md", "", "also write a markdown report to this path")
+	jsonOut := flag.String("json", "", "also write machine-readable results (JSON lines) to this path")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	cfg := exp.Quick()
+	if *full {
+		cfg = exp.Full()
+	}
+	cfg.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+
+	var jsonLines []string
+	var mdOut strings.Builder
+	mdOut.WriteString("# EXPERIMENTS — paper vs measured\n\n")
+	fmt.Fprintf(&mdOut, "Profile: quick=%v, VMs=%d, runs=%d, seed=%d. Generated by `cmd/expdriver`.\n\n",
+		!*full, cfg.VMs, cfg.Runs, cfg.Seed)
+
+	exitCode := 0
+	for _, fig := range figures {
+		if len(want) > 0 && !want[fig.name] {
+			continue
+		}
+		start := time.Now()
+		tables, err := fig.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", fig.name, err)
+			exitCode = 1
+			continue
+		}
+		fmt.Printf("== %s: %s (%.1fs)\n\n", fig.name, fig.desc, time.Since(start).Seconds())
+		for _, t := range tables {
+			fmt.Println(t.String())
+			mdOut.WriteString(t.Markdown())
+			if *jsonOut != "" {
+				if line, err := t.JSON(); err == nil {
+					jsonLines = append(jsonLines, string(line))
+				}
+			}
+		}
+	}
+
+	if *md != "" {
+		if err := os.WriteFile(*md, []byte(mdOut.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitCode = 1
+		}
+	}
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, []byte(strings.Join(jsonLines, "\n")+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitCode = 1
+		}
+	}
+	os.Exit(exitCode)
+}

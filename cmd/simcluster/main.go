@@ -1,0 +1,100 @@
+// Command simcluster runs the paper's §V-E large-scale simulation
+// standalone: a tree-structured data center (default 32 racks × 32
+// servers = 1024 machines, as in the paper) with Poisson background
+// traffic, a virtual cluster sampled from it, RPCA analysis of the
+// measured temporal performance matrix, and a strategy comparison on live
+// simulated collectives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netconstant/internal/cloud"
+	"netconstant/internal/core"
+	"netconstant/internal/mapping"
+	"netconstant/internal/mpi"
+	"netconstant/internal/stats"
+	"netconstant/internal/topo"
+)
+
+func main() {
+	racks := flag.Int("racks", 32, "number of racks")
+	perRack := flag.Int("servers", 32, "servers per rack")
+	vms := flag.Int("vms", 32, "virtual cluster size")
+	bgLinks := flag.Int("bg", 64, "background traffic sources")
+	bgLambda := flag.Float64("lambda", 1, "background mean waiting time (s)")
+	bgBytes := flag.Float64("bgmsg", 64<<20, "background message size (bytes)")
+	hotRacks := flag.Int("hot", 16, "racks carrying background traffic (0 = all)")
+	runs := flag.Int("runs", 20, "comparison repetitions")
+	msg := flag.Float64("msg", 8<<20, "collective message size (bytes)")
+	steps := flag.Int("steps", 10, "time step (TP-matrix rows)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	sc := cloud.NewSimCluster(cloud.SimClusterConfig{
+		Tree: topo.TreeConfig{
+			Racks:          *racks,
+			ServersPerRack: *perRack,
+			IntraRackBps:   1e9 / 8,
+			InterRackBps:   2e9 / 8,
+		},
+		VMs:       *vms,
+		Seed:      *seed,
+		BgLinks:   *bgLinks,
+		BgBytes:   *bgBytes,
+		BgLambda:  *bgLambda,
+		HotRacks:  *hotRacks,
+		ProbeBulk: 1 << 20,
+	})
+	defer sc.StopBackground()
+
+	fmt.Printf("simulated data center: %d machines (%d racks x %d servers), %d-VM cluster, %d background sources (λ=%.1fs, %.0f MB)\n",
+		*racks**perRack, *racks, *perRack, *vms, *bgLinks, *bgLambda, *bgBytes/(1<<20))
+
+	rng := stats.NewRNG(*seed + 1)
+	adv := core.NewAdvisor(sc, rng, core.AdvisorConfig{TimeStep: *steps})
+	fmt.Printf("measuring %d all-link snapshots...\n", *steps)
+	tc := cloud.SnapshotTP(sc, *steps, 5)
+	if err := adv.AnalyzeCalibration(tc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("Norm(N_E) = %.4f -> optimizations are %s\n\n", adv.NormE(), adv.Effectiveness())
+
+	strategies := []core.Strategy{core.Baseline, core.TopologyAware, core.Heuristics, core.RPCA}
+	sums := map[core.Strategy]map[string]float64{}
+	for _, s := range strategies {
+		sums[s] = map[string]float64{}
+	}
+	net := mpi.NewSimNetwork(sc.Sim, sc.Hosts)
+	for r := 0; r < *runs; r++ {
+		root := rng.Intn(*vms)
+		task := mapping.RandomTaskGraph(rng, *vms, 0.1, 5<<20, 10<<20)
+		snap := cloud.SnapshotTP(sc, 1, 0)
+		snapPerf := core.PerfFromRows(*vms, snap.Latency.Matrix().Row(0), snap.Bandwidth.Matrix().Row(0))
+		for _, s := range strategies {
+			tree := adv.PlanTree(s, root, *msg, sc.Sim.Topo, sc.Hosts)
+			sums[s]["broadcast"] += mpi.RunCollective(net, tree, mpi.Broadcast, *msg)
+			sums[s]["scatter"] += mpi.RunCollective(net, tree, mpi.Scatter, *msg)
+			var assign []int
+			if guide := adv.GuidancePerf(s); guide != nil {
+				assign = mapping.GreedyMap(task, mapping.MachineGraphFromPerf(guide))
+			} else {
+				assign = mapping.RingMapping(*vms)
+			}
+			mel, _ := mapping.Cost(task, assign, snapPerf)
+			sums[s]["mapping"] += mel
+		}
+	}
+
+	fmt.Printf("%-15s %-12s %-12s %-12s (normalized to Baseline; lower is better)\n", "strategy", "broadcast", "scatter", "mapping")
+	for _, s := range strategies {
+		fmt.Printf("%-15s", s)
+		for _, app := range []string{"broadcast", "scatter", "mapping"} {
+			fmt.Printf(" %-12.4f", sums[s][app]/sums[core.Baseline][app])
+		}
+		fmt.Println()
+	}
+}

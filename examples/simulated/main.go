@@ -1,0 +1,74 @@
+// Simulated: the paper's §V-E setup at example scale — a virtual cluster
+// on the flow-level network simulator with Poisson background traffic on
+// oversubscribed uplinks. Measurements are real probe flows; collectives
+// execute live and contend with the background. Shows the four-strategy
+// comparison including the topology-aware approach unavailable on real
+// clouds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netconstant/internal/cloud"
+	"netconstant/internal/core"
+	"netconstant/internal/mpi"
+	"netconstant/internal/stats"
+	"netconstant/internal/topo"
+)
+
+func main() {
+	const (
+		vms  = 12
+		msg  = 8 << 20
+		runs = 40
+	)
+	sc := cloud.NewSimCluster(cloud.SimClusterConfig{
+		Tree: topo.TreeConfig{
+			Racks:          8,
+			ServersPerRack: 8,
+			IntraRackBps:   1e9 / 8,
+			InterRackBps:   2e9 / 8, // oversubscribed uplinks
+		},
+		VMs:       vms,
+		Seed:      51,
+		BgLinks:   24,
+		BgBytes:   64 << 20,
+		BgLambda:  1,
+		HotRacks:  4, // persistent congestion on half the racks
+		ProbeBulk: 1 << 20,
+	})
+	defer sc.StopBackground()
+
+	rng := stats.NewRNG(52)
+	adv := core.NewAdvisor(sc, rng, core.AdvisorConfig{})
+	fmt.Println("measuring 10 all-link snapshots on the live simulator...")
+	tc := cloud.SnapshotTP(sc, 10, 5)
+	if err := adv.AnalyzeCalibration(tc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Norm(N_E) = %.3f -> optimizations are %s\n\n", adv.NormE(), adv.Effectiveness())
+
+	strategies := []core.Strategy{core.Baseline, core.TopologyAware, core.Heuristics, core.RPCA}
+	sums := map[core.Strategy]float64{}
+	net := mpi.NewSimNetwork(sc.Sim, sc.Hosts)
+	for r := 0; r < runs; r++ {
+		root := rng.Intn(vms)
+		for _, s := range strategies {
+			tree := adv.PlanTree(s, root, msg, sc.Sim.Topo, sc.Hosts)
+			sums[s] += mpi.RunCollective(net, tree, mpi.Broadcast, msg)
+		}
+	}
+	fmt.Printf("%-15s %-12s %s\n", "strategy", "mean (s)", "normalized")
+	for _, s := range strategies {
+		fmt.Printf("%-15s %-12.3f %.3f\n", s, sums[s]/runs, sums[s]/sums[core.Baseline])
+	}
+	fmt.Println(`
+(collectives executed live against Poisson background traffic)
+
+Note: when congestion is strongly rack-correlated — as with this seed's
+hot-rack background — static topology knowledge is itself a good signal,
+so Topology-aware can match or beat the measurement-based strategies.
+The paper's finding that topology-aware ≈ baseline holds when dynamics
+are NOT aligned with static structure; compare cmd/expdriver -only fig13.`)
+}

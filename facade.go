@@ -1,0 +1,13 @@
+package netconstant
+
+import "netconstant/internal/mat"
+
+func matFromRows(rows [][]float64) *mat.Dense { return mat.FromRows(rows) }
+
+func matToRows(m *mat.Dense) [][]float64 {
+	out := make([][]float64, m.Rows())
+	for i := range out {
+		out[i] = append([]float64(nil), m.Row(i)...)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module netconstant
+
+go 1.23

@@ -1,0 +1,243 @@
+package cloud
+
+import (
+	"math"
+	"math/rand"
+
+	"netconstant/internal/netmodel"
+)
+
+// CalibrationConfig tunes the all-link calibration procedure (paper §IV-B,
+// "Model calibration").
+type CalibrationConfig struct {
+	// BulkBytes is the large-message size used for the bandwidth probe.
+	// The paper uses 8 MB, above which results are stable.
+	BulkBytes float64
+	// Sequential measures pairs one at a time (N(N−1) rounds) instead of
+	// the paper's paired schedule (N/2 disjoint pairs per round, ≈2N
+	// rounds). Sequential is the expensive baseline of the pairing
+	// ablation.
+	Sequential bool
+	// RoundSync is the per-round synchronization overhead in seconds.
+	RoundSync float64
+	// InterferenceNoise is the extra relative measurement noise caused by
+	// the N/2 concurrent transfers in paired mode.
+	InterferenceNoise float64
+	// DropProb injects measurement failures: each pair probe fails with
+	// this probability (timeout, packet loss). A failed probe is retried
+	// once; a pair that fails twice is left unmeasured and repaired from
+	// the reverse direction or column statistics after the pass
+	// (netmodel.PerfMatrix.Repair).
+	DropProb float64
+}
+
+func (c *CalibrationConfig) applyDefaults() {
+	if c.BulkBytes == 0 {
+		c.BulkBytes = 8 << 20
+	}
+	if c.RoundSync == 0 {
+		c.RoundSync = 0.05
+	}
+	if c.InterferenceNoise == 0 {
+		c.InterferenceNoise = 0.02
+	}
+}
+
+// Calibration is the result of one all-link measurement pass.
+type Calibration struct {
+	Perf   *netmodel.PerfMatrix
+	Cost   float64 // elapsed cluster time consumed, seconds
+	Rounds int
+	// Dropped counts probes that failed at least once; Failed counts pairs
+	// whose retry also failed (left for Repair); Repaired counts cells
+	// filled in afterwards.
+	Dropped  int
+	Failed   int
+	Repaired int
+}
+
+// pingpongTime is the SKaMPI-style probe duration under the α-β model: a
+// 1-byte latency probe plus a bulk bandwidth probe.
+func pingpongTime(l netmodel.Link, bulk float64) float64 {
+	return l.TransferTime(1) + l.TransferTime(bulk)
+}
+
+// PairSchedule builds the paired measurement schedule: a sequence of
+// rounds, each containing ⌊N/2⌋ disjoint ordered pairs, covering every
+// ordered pair exactly once. It uses the circle method for the round-robin
+// pairing and then mirrors each round for the reverse direction.
+func PairSchedule(n int) [][][2]int {
+	if n < 2 {
+		return nil
+	}
+	// Circle method over m participants (m even; a bye for odd n).
+	m := n
+	if m%2 == 1 {
+		m++
+	}
+	ids := make([]int, m)
+	for i := range ids {
+		ids[i] = i
+	}
+	var rounds [][][2]int
+	for r := 0; r < m-1; r++ {
+		var fwd, rev [][2]int
+		for k := 0; k < m/2; k++ {
+			a, b := ids[k], ids[m-1-k]
+			if a < n && b < n {
+				fwd = append(fwd, [2]int{a, b})
+				rev = append(rev, [2]int{b, a})
+			}
+		}
+		if len(fwd) > 0 {
+			rounds = append(rounds, fwd, rev)
+		}
+		// Rotate all but the first.
+		last := ids[m-1]
+		copy(ids[2:], ids[1:m-1])
+		ids[1] = last
+	}
+	return rounds
+}
+
+// Calibrate performs one all-link calibration on the cluster, advancing
+// the cluster clock by the measurement cost as it goes, so that later
+// rounds observe later network conditions.
+func Calibrate(c Cluster, rng *rand.Rand, cfg CalibrationConfig) *Calibration {
+	cfg.applyDefaults()
+	n := c.Size()
+	perf := netmodel.NewPerfMatrix(n)
+	cal := &Calibration{Perf: perf}
+
+	measure := func(i, j int, interference bool) netmodel.Link {
+		if cfg.DropProb > 0 && rng.Float64() < cfg.DropProb {
+			cal.Dropped++
+			if rng.Float64() < cfg.DropProb { // retry also fails
+				cal.Failed++
+				return netmodel.Link{}
+			}
+		}
+		l := c.PairPerf(i, j)
+		if interference && cfg.InterferenceNoise > 0 {
+			f := clampPositive(1 + cfg.InterferenceNoise*rng.NormFloat64())
+			l.Beta *= f
+			l.Alpha /= f
+		}
+		return l
+	}
+
+	if cfg.Sequential {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				l := measure(i, j, false)
+				perf.SetLink(i, j, l)
+				dt := pingpongTime(l, cfg.BulkBytes) + cfg.RoundSync
+				c.AdvanceTime(dt)
+				cal.Cost += dt
+				cal.Rounds++
+			}
+		}
+		cal.Repaired = perf.Repair()
+		return cal
+	}
+
+	for _, round := range PairSchedule(n) {
+		roundTime := 0.0
+		for _, pr := range round {
+			l := measure(pr[0], pr[1], true)
+			perf.SetLink(pr[0], pr[1], l)
+			if t := pingpongTime(l, cfg.BulkBytes); t > roundTime && !math.IsInf(t, 1) {
+				roundTime = t
+			}
+		}
+		dt := roundTime + cfg.RoundSync
+		c.AdvanceTime(dt)
+		cal.Cost += dt
+		cal.Rounds++
+	}
+	cal.Repaired = perf.Repair()
+	return cal
+}
+
+// TemporalCalibration is a series of calibrations assembled into the two
+// TP-matrices of paper §III (latency and bandwidth).
+type TemporalCalibration struct {
+	Latency   *netmodel.TPMatrix
+	Bandwidth *netmodel.TPMatrix
+	TotalCost float64
+}
+
+// CalibrateTP performs `steps` calibrations separated by `gap` seconds of
+// idle time and stacks them into TP-matrices. steps is the paper's "time
+// step" tuning parameter (default 10).
+func CalibrateTP(c Cluster, rng *rand.Rand, steps int, gap float64, cfg CalibrationConfig) *TemporalCalibration {
+	if steps <= 0 {
+		steps = 10
+	}
+	n := c.Size()
+	tc := &TemporalCalibration{
+		Latency:   netmodel.NewTPMatrix(n),
+		Bandwidth: netmodel.NewTPMatrix(n),
+	}
+	for s := 0; s < steps; s++ {
+		cal := Calibrate(c, rng, cfg)
+		tc.TotalCost += cal.Cost
+		tc.Latency.Append(c.Now(), cal.Perf.Latency)
+		tc.Bandwidth.Append(c.Now(), cal.Perf.Bandwth)
+		if s < steps-1 && gap > 0 {
+			c.AdvanceTime(gap)
+			tc.TotalCost += gap
+		}
+	}
+	return tc
+}
+
+// SnapshotTP samples `steps` instantaneous performance matrices separated
+// by `gap` seconds without charging measurement cost — used by trace
+// generation and experiments that need ideal snapshots.
+func SnapshotTP(c Cluster, steps int, gap float64) *TemporalCalibration {
+	n := c.Size()
+	tc := &TemporalCalibration{
+		Latency:   netmodel.NewTPMatrix(n),
+		Bandwidth: netmodel.NewTPMatrix(n),
+	}
+	for s := 0; s < steps; s++ {
+		pm := snapshotOf(c)
+		tc.Latency.Append(c.Now(), pm.Latency)
+		tc.Bandwidth.Append(c.Now(), pm.Bandwth)
+		if s < steps-1 && gap > 0 {
+			c.AdvanceTime(gap)
+		}
+	}
+	return tc
+}
+
+// snapshotOf samples every pair of any Cluster implementation.
+func snapshotOf(c Cluster) *netmodel.PerfMatrix {
+	n := c.Size()
+	pm := netmodel.NewPerfMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			pm.SetLink(i, j, c.PairPerf(i, j))
+		}
+	}
+	return pm
+}
+
+// EstimateCalibrationCost predicts the wall-clock cost of one paired
+// calibration pass for a cluster of n VMs with typical link performance,
+// without touching a cluster — the analytic curve behind Fig 4.
+func EstimateCalibrationCost(n int, typical netmodel.Link, cfg CalibrationConfig) float64 {
+	cfg.applyDefaults()
+	rounds := len(PairSchedule(n))
+	if cfg.Sequential {
+		rounds = n * (n - 1)
+	}
+	return float64(rounds) * (pingpongTime(typical, cfg.BulkBytes) + cfg.RoundSync)
+}

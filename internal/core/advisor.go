@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"netconstant/internal/cloud"
+	"netconstant/internal/mpi"
+	"netconstant/internal/netmodel"
+	"netconstant/internal/rpca"
+	"netconstant/internal/topo"
+)
+
+// AdvisorConfig tunes the Advisor. Zero values select the paper's default
+// experimental settings: time step 10, threshold 100%, L1 effectiveness
+// norm, mean extraction.
+type AdvisorConfig struct {
+	// TimeStep is the number of calibration rows in the TP-matrix.
+	TimeStep int
+	// Threshold is the maintenance threshold of Algorithm 1 as a fraction
+	// (1.0 = the paper's 100% default): re-calibrate when
+	// |t − t′| / t′ ≥ Threshold.
+	Threshold float64
+	// Gap is the idle time between successive calibration rows, seconds.
+	Gap float64
+	// Calibration configures the measurement procedure.
+	Calibration cloud.CalibrationConfig
+	// RPCAOpts configures the solver (zero value = literature defaults).
+	RPCAOpts rpca.Options
+	// Extract selects the constant-row extraction method.
+	Extract rpca.ExtractMethod
+	// Heuristic selects the direct-use estimator for the Heuristics
+	// strategy.
+	Heuristic HeuristicKind
+}
+
+func (c *AdvisorConfig) applyDefaults() {
+	if c.TimeStep == 0 {
+		c.TimeStep = 10
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 1.0
+	}
+}
+
+// Advisor binds the RPCA pipeline to a cluster and implements the
+// calibrate → decompose → guide → monitor → re-calibrate loop of
+// Algorithm 1.
+type Advisor struct {
+	cluster cloud.Cluster
+	cfg     AdvisorConfig
+	rng     *rand.Rand
+
+	constant  *netmodel.PerfMatrix // P_D assembled from the two constant rows
+	heuristic *netmodel.PerfMatrix // the Heuristics strategy's estimate
+	normE     float64              // Norm(N_E) from the bandwidth TP-matrix
+
+	calibrations  int
+	totalCalCost  float64
+	lastCal       *cloud.TemporalCalibration
+	recalibraions int
+}
+
+// NewAdvisor creates an advisor; call Calibrate before asking for
+// guidance.
+func NewAdvisor(c cloud.Cluster, rng *rand.Rand, cfg AdvisorConfig) *Advisor {
+	cfg.applyDefaults()
+	return &Advisor{cluster: c, cfg: cfg, rng: rng}
+}
+
+// Calibrate measures the TP-matrix and runs the RPCA analysis (Algorithm 1
+// lines 1–2). It returns the error of the RPCA solver, if any.
+func (a *Advisor) Calibrate() error {
+	tc := cloud.CalibrateTP(a.cluster, a.rng, a.cfg.TimeStep, a.cfg.Gap, a.cfg.Calibration)
+	a.lastCal = tc
+	a.calibrations++
+	a.totalCalCost += tc.TotalCost
+	return a.analyze(tc)
+}
+
+// AnalyzeCalibration installs a pre-recorded temporal calibration (e.g.
+// from a replayed trace) instead of measuring a fresh one.
+func (a *Advisor) AnalyzeCalibration(tc *cloud.TemporalCalibration) error {
+	a.lastCal = tc
+	a.calibrations++
+	a.totalCalCost += tc.TotalCost
+	return a.analyze(tc)
+}
+
+func (a *Advisor) analyze(tc *cloud.TemporalCalibration) error {
+	latD, err := DecomposeTP(tc.Latency, a.cfg.RPCAOpts, a.cfg.Extract)
+	if err != nil {
+		return err
+	}
+	bwD, err := DecomposeTP(tc.Bandwidth, a.cfg.RPCAOpts, a.cfg.Extract)
+	if err != nil {
+		return err
+	}
+	n := tc.Latency.N
+	a.constant = PerfFromRows(n, latD.ConstantRow, bwD.ConstantRow)
+	a.normE = bwD.NormE
+	a.heuristic = PerfFromRows(n,
+		HeuristicRow(tc.Latency, a.cfg.Heuristic, false),
+		HeuristicRow(tc.Bandwidth, a.cfg.Heuristic, true))
+	return nil
+}
+
+// Constant returns the RPCA constant-component performance matrix (nil
+// before the first calibration).
+func (a *Advisor) Constant() *netmodel.PerfMatrix { return a.constant }
+
+// HeuristicPerf returns the direct-use estimate for the Heuristics
+// strategy.
+func (a *Advisor) HeuristicPerf() *netmodel.PerfMatrix { return a.heuristic }
+
+// NormE returns the relative error norm of the last analysis — the
+// paper's effectiveness indicator.
+func (a *Advisor) NormE() float64 { return a.normE }
+
+// Effectiveness grades the last NormE.
+func (a *Advisor) Effectiveness() Effectiveness { return GradeEffectiveness(a.normE) }
+
+// Calibrations returns how many full calibrations have run.
+func (a *Advisor) Calibrations() int { return a.calibrations }
+
+// Recalibrations returns how many were triggered by the monitor.
+func (a *Advisor) Recalibrations() int { return a.recalibraions }
+
+// CalibrationCost returns the cumulative cluster time spent calibrating.
+func (a *Advisor) CalibrationCost() float64 { return a.totalCalCost }
+
+// LastCalibration exposes the most recent temporal calibration.
+func (a *Advisor) LastCalibration() *cloud.TemporalCalibration { return a.lastCal }
+
+// GuidancePerf returns the performance matrix a strategy plans with (nil
+// for strategies that do not use measurements).
+func (a *Advisor) GuidancePerf(s Strategy) *netmodel.PerfMatrix {
+	switch s {
+	case RPCA:
+		return a.constant
+	case Heuristics:
+		return a.heuristic
+	default:
+		return nil
+	}
+}
+
+// PlanTree builds the communication tree a strategy would use for a
+// collective rooted at root with the given message size. dc and hosts are
+// only consulted by TopologyAware (and may be nil otherwise).
+func (a *Advisor) PlanTree(s Strategy, root int, msgBytes float64, dc *topo.Topology, hosts []int) *mpi.Tree {
+	n := a.cluster.Size()
+	switch s {
+	case RPCA, Heuristics:
+		perf := a.GuidancePerf(s)
+		if perf == nil {
+			return mpi.BinomialTree(n, root)
+		}
+		return mpi.FNFTree(perf.Weights(msgBytes), root)
+	case TopologyAware:
+		if dc == nil || hosts == nil {
+			return mpi.BinomialTree(n, root)
+		}
+		return mpi.TopologyAwareTree(dc, hosts, root)
+	default:
+		return mpi.BinomialTree(n, root)
+	}
+}
+
+// ExpectedTime estimates the collective's duration under the constant
+// component — the expected performance t′ of Algorithm 1 line 5, using
+// the α-β model so it extends to any message size.
+func (a *Advisor) ExpectedTime(t *mpi.Tree, op mpi.Collective, msgBytes float64) float64 {
+	if a.constant == nil {
+		return math.NaN()
+	}
+	return mpi.RunCollective(mpi.NewAnalyticNet(a.constant), t, op, msgBytes)
+}
+
+// Observe implements the maintenance check of Algorithm 1 lines 4–9:
+// compare the measured performance t against the expected t′ and
+// re-calibrate when the relative difference reaches the threshold. It
+// reports whether a re-calibration was triggered.
+func (a *Advisor) Observe(expected, actual float64) (bool, error) {
+	if expected <= 0 || math.IsNaN(expected) {
+		return false, nil
+	}
+	if math.Abs(actual-expected)/expected < a.cfg.Threshold {
+		return false, nil
+	}
+	a.recalibraions++
+	return true, a.Calibrate()
+}

@@ -1,0 +1,98 @@
+// Package cost models the pay-as-you-go economics of network-performance-
+// aware optimization — the paper's stated future work ("we plan to
+// investigate the economic impacts of our approach", §VI). Because IaaS
+// clusters bill per VM-time, reducing a distributed job's elapsed time
+// reduces its dollar cost, but calibration burns paid cluster time first;
+// the interesting quantities are the net savings and the break-even point
+// where calibration has amortized.
+package cost
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Pricing describes an instance type's billing.
+type Pricing struct {
+	// VMPerHour is the on-demand price per VM-hour (2013 EC2 m1.medium:
+	// $0.12).
+	VMPerHour float64
+	// BillingGranularity is the rounding unit in seconds: 3600 for classic
+	// hourly billing, 60 for per-minute, 1 for per-second. Zero selects
+	// per-second.
+	BillingGranularity float64
+}
+
+func (p Pricing) granularity() float64 {
+	if p.BillingGranularity <= 0 {
+		return 1
+	}
+	return p.BillingGranularity
+}
+
+// JobCost returns the dollar cost of occupying `vms` instances for
+// `elapsedSeconds`, rounded up to the billing granularity.
+func (p Pricing) JobCost(vms int, elapsedSeconds float64) float64 {
+	if vms <= 0 || elapsedSeconds < 0 {
+		return 0
+	}
+	g := p.granularity()
+	billed := math.Ceil(elapsedSeconds/g) * g
+	return float64(vms) * billed / 3600 * p.VMPerHour
+}
+
+// Comparison is the economic outcome of applying a network-aware
+// optimization to a recurring job.
+type Comparison struct {
+	// Per-run dollar costs.
+	BaselineCost  float64
+	OptimizedCost float64
+	// OverheadCost is the one-time calibration + analysis cost in dollars.
+	OverheadCost float64
+	// SavingsPerRun is BaselineCost − OptimizedCost.
+	SavingsPerRun float64
+	// SavingsFrac is SavingsPerRun / BaselineCost.
+	SavingsFrac float64
+	// BreakEvenRuns is how many runs amortize the overhead
+	// (+Inf when the optimization does not save anything).
+	BreakEvenRuns float64
+	// NetSavings reports total savings after `Runs` executions.
+	Runs       int
+	NetSavings float64
+}
+
+// Compare evaluates the economics of running a job `runs` times:
+// baselineSec and optimizedSec are per-run elapsed times; overheadSec is
+// the one-time calibration cost — all on a cluster of `vms` instances.
+func Compare(p Pricing, vms, runs int, baselineSec, optimizedSec, overheadSec float64) (Comparison, error) {
+	if vms <= 0 || runs < 0 {
+		return Comparison{}, errors.New("cost: invalid cluster size or run count")
+	}
+	if baselineSec < 0 || optimizedSec < 0 || overheadSec < 0 {
+		return Comparison{}, errors.New("cost: negative durations")
+	}
+	c := Comparison{
+		BaselineCost:  p.JobCost(vms, baselineSec),
+		OptimizedCost: p.JobCost(vms, optimizedSec),
+		OverheadCost:  p.JobCost(vms, overheadSec),
+		Runs:          runs,
+	}
+	c.SavingsPerRun = c.BaselineCost - c.OptimizedCost
+	if c.BaselineCost > 0 {
+		c.SavingsFrac = c.SavingsPerRun / c.BaselineCost
+	}
+	if c.SavingsPerRun > 0 {
+		c.BreakEvenRuns = c.OverheadCost / c.SavingsPerRun
+	} else {
+		c.BreakEvenRuns = math.Inf(1)
+	}
+	c.NetSavings = float64(runs)*c.SavingsPerRun - c.OverheadCost
+	return c, nil
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	return fmt.Sprintf("baseline $%.4f/run, optimized $%.4f/run (%.1f%% cheaper), overhead $%.4f, break-even %.1f runs, net after %d runs: $%.4f",
+		c.BaselineCost, c.OptimizedCost, 100*c.SavingsFrac, c.OverheadCost, c.BreakEvenRuns, c.Runs, c.NetSavings)
+}

@@ -1,0 +1,97 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestJobCostPerSecondBilling(t *testing.T) {
+	p := Pricing{VMPerHour: 0.12}
+	// 10 VMs × 3600 s = 10 VM-hours × $0.12 = $1.20.
+	if got := p.JobCost(10, 3600); math.Abs(got-1.2) > 1e-12 {
+		t.Errorf("job cost %v", got)
+	}
+	if p.JobCost(0, 100) != 0 || p.JobCost(3, -1) != 0 {
+		t.Error("degenerate inputs should cost 0")
+	}
+}
+
+func TestJobCostHourlyRounding(t *testing.T) {
+	p := Pricing{VMPerHour: 0.12, BillingGranularity: 3600}
+	// 61 minutes rounds up to 2 hours.
+	if got := p.JobCost(1, 3660); math.Abs(got-0.24) > 1e-12 {
+		t.Errorf("hourly rounding %v", got)
+	}
+	// Exactly one hour bills one hour.
+	if got := p.JobCost(1, 3600); math.Abs(got-0.12) > 1e-12 {
+		t.Errorf("exact hour %v", got)
+	}
+}
+
+func TestCompareBasic(t *testing.T) {
+	p := Pricing{VMPerHour: 0.12}
+	// Baseline 1000 s, optimized 700 s, overhead 600 s on 16 VMs.
+	c, err := Compare(p, 16, 100, 1000, 700, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.SavingsFrac-0.3) > 1e-9 {
+		t.Errorf("savings frac %v", c.SavingsFrac)
+	}
+	// Break-even: overhead 600 s / savings 300 s per run = 2 runs.
+	if math.Abs(c.BreakEvenRuns-2) > 1e-9 {
+		t.Errorf("break-even %v", c.BreakEvenRuns)
+	}
+	if c.NetSavings <= 0 {
+		t.Errorf("100 runs should net positive: %v", c.NetSavings)
+	}
+	if !strings.Contains(c.String(), "break-even") {
+		t.Error("string rendering")
+	}
+}
+
+func TestCompareNoSavings(t *testing.T) {
+	p := Pricing{VMPerHour: 0.12}
+	c, err := Compare(p, 4, 10, 100, 120, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(c.BreakEvenRuns, 1) {
+		t.Error("slower optimization should never break even")
+	}
+	if c.NetSavings >= 0 {
+		t.Error("net should be negative")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	p := Pricing{VMPerHour: 0.12}
+	if _, err := Compare(p, 0, 1, 1, 1, 1); err == nil {
+		t.Error("zero VMs should error")
+	}
+	if _, err := Compare(p, 2, -1, 1, 1, 1); err == nil {
+		t.Error("negative runs should error")
+	}
+	if _, err := Compare(p, 2, 1, -1, 1, 1); err == nil {
+		t.Error("negative durations should error")
+	}
+}
+
+func TestHourlyBillingCanEraseSavings(t *testing.T) {
+	// With hourly granularity, shaving 10 minutes off a 70-minute job
+	// still bills 2 hours — the optimization saves nothing in dollars.
+	p := Pricing{VMPerHour: 0.12, BillingGranularity: 3600}
+	c, err := Compare(p, 8, 10, 70*60, 61*60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SavingsPerRun != 0 {
+		t.Errorf("hourly billing should erase sub-hour savings, got %v", c.SavingsPerRun)
+	}
+	// But crossing the hour boundary does pay.
+	c2, _ := Compare(p, 8, 10, 70*60, 59*60, 0)
+	if c2.SavingsPerRun <= 0 {
+		t.Error("crossing the boundary should save a full billed hour")
+	}
+}

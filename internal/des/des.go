@@ -1,0 +1,152 @@
+// Package des provides a minimal deterministic discrete-event simulation
+// engine: a virtual clock and a time-ordered event queue with cancellable
+// timers. It is shared by the flow-level network simulator (the ns-2
+// substitute) and the analytic α-β network executor.
+//
+// Determinism: ties in event time are broken by scheduling order, so a
+// simulation driven by seeded randomness replays identically.
+package des
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Timer is a handle to a scheduled event; Cancel prevents its callback
+// from firing.
+type Timer struct {
+	at        float64
+	seq       int64
+	fn        func()
+	cancelled bool
+	index     int // heap index
+}
+
+// Cancel suppresses the timer's callback. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (t *Timer) Cancel() { t.cancelled = true }
+
+// At returns the simulated time the timer is scheduled for.
+func (t *Timer) At() float64 { return t.at }
+
+// Engine is a discrete-event scheduler with a virtual clock.
+type Engine struct {
+	now float64
+	seq int64
+	q   timerHeap
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule registers fn to run at simulated time `at` and returns a
+// cancellable handle. Scheduling in the past (at < Now) panics: it would
+// silently corrupt causality.
+func (e *Engine) Schedule(at float64, fn func()) *Timer {
+	if at < e.now {
+		panic("des: scheduling event in the past")
+	}
+	if math.IsNaN(at) {
+		panic("des: scheduling event at NaN")
+	}
+	t := &Timer{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.q, t)
+	return t
+}
+
+// After schedules fn to run delay seconds from now.
+func (e *Engine) After(delay float64, fn func()) *Timer {
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Step fires the earliest pending event. It reports false when the queue
+// is empty (after draining any cancelled entries).
+func (e *Engine) Step() bool {
+	for e.q.Len() > 0 {
+		t := heap.Pop(&e.q).(*Timer)
+		if t.cancelled {
+			continue
+		}
+		e.now = t.at
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time <= deadline, then advances the clock to
+// exactly the deadline (later events stay queued).
+func (e *Engine) RunUntil(deadline float64) {
+	for {
+		t := e.peek()
+		if t == nil || t.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of live (non-cancelled) queued events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, t := range e.q {
+		if !t.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) peek() *Timer {
+	for e.q.Len() > 0 {
+		t := e.q[0]
+		if t.cancelled {
+			heap.Pop(&e.q)
+			continue
+		}
+		return t
+	}
+	return nil
+}
+
+// timerHeap orders by (time, sequence) for deterministic tie-breaking.
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

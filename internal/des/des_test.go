@@ -1,0 +1,183 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order %v", order)
+	}
+	if e.Now() != 3 {
+		t.Errorf("clock %v", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(5, func() { order = append(order, "a") })
+	e.Schedule(5, func() { order = append(order, "b") })
+	e.Schedule(5, func() { order = append(order, "c") })
+	e.Run()
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("tie order %v", order)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := NewEngine()
+	var fired float64 = -1
+	e.Schedule(2, func() {
+		e.After(3, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 5 {
+		t.Errorf("After fired at %v", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	timer := e.Schedule(1, func() { fired = true })
+	timer.Cancel()
+	e.Run()
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	timer.Cancel() // double-cancel is fine
+	if timer.At() != 1 {
+		t.Error("At")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	e.Schedule(math.NaN(), func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Errorf("fired %v", fired)
+	}
+	if e.Now() != 2.5 {
+		t.Errorf("clock %v", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending %d", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Error("remaining events lost")
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(10)
+	if e.Now() != 10 {
+		t.Errorf("idle clock %v", e.Now())
+	}
+	// Deadline before now is a no-op.
+	e.RunUntil(5)
+	if e.Now() != 10 {
+		t.Error("clock moved backwards")
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("step on empty queue")
+	}
+}
+
+func TestPendingSkipsCancelled(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	a.Cancel()
+	if e.Pending() != 1 {
+		t.Errorf("pending %d", e.Pending())
+	}
+	e.Run()
+	if e.Now() != 2 {
+		t.Error("cancelled head should be skipped")
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// An event that schedules new events at the same time should keep FIFO
+	// ordering among equal-time events.
+	e := NewEngine()
+	var order []int
+	e.Schedule(1, func() {
+		order = append(order, 1)
+		e.Schedule(1, func() { order = append(order, 2) })
+	})
+	e.Run()
+	if len(order) != 2 || order[1] != 2 {
+		t.Errorf("cascade order %v", order)
+	}
+}
+
+// Property: events fire in non-decreasing time order regardless of the
+// order they were scheduled in, including events scheduled from inside
+// other events.
+func TestPropertyEventOrdering(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var fired []float64
+		record := func() { fired = append(fired, e.Now()) }
+		for i := 0; i < 50; i++ {
+			at := rng.Float64() * 100
+			e.Schedule(at, func() {
+				record()
+				// Cascade: schedule a follow-up in the future.
+				if rng.Float64() < 0.3 {
+					e.After(rng.Float64()*10, record)
+				}
+			})
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				t.Fatalf("seed %d: time went backwards: %v -> %v", seed, fired[i-1], fired[i])
+			}
+		}
+	}
+}

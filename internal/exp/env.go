@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"math/rand"
+
+	"netconstant/internal/cloud"
+	"netconstant/internal/core"
+	"netconstant/internal/mapping"
+	"netconstant/internal/mpi"
+	"netconstant/internal/netmodel"
+	"netconstant/internal/stats"
+	"netconstant/internal/topo"
+)
+
+// Config scales the experiments. Quick (the default for tests and benches)
+// shrinks cluster sizes and repetition counts so the full suite runs in
+// seconds; Full reproduces the paper's scales (196 VMs, 1024-machine
+// simulation, ≥100 repetitions) and is what cmd/expdriver -full runs.
+type Config struct {
+	Seed int64
+	// VMs is the virtual cluster size (paper default 196).
+	VMs int
+	// SmallVMs is the smaller cluster of Fig 8 (paper: 64).
+	SmallVMs int
+	// Runs is the repetition count per data point (paper: >100).
+	Runs int
+	// MsgBytes is the collective message size (paper default 8 MB).
+	MsgBytes float64
+	// TimeStep is the TP-matrix row count (paper default 10).
+	TimeStep int
+	// Racks/ServersPerRack shape the synthetic data center.
+	Racks          int
+	ServersPerRack int
+	// SimMachines is the simulated-cluster size for Fig 12/13 (paper: 1024
+	// = 32×32).
+	SimRacks          int
+	SimServersPerRack int
+	SimVMs            int
+	// MigrationRate is VM migrations per VM per day.
+	MigrationRate float64
+}
+
+// Quick returns a configuration sized for tests and laptops.
+func Quick() Config {
+	return Config{
+		Seed:              1,
+		VMs:               16,
+		SmallVMs:          8,
+		Runs:              12,
+		MsgBytes:          8 << 20,
+		TimeStep:          10,
+		Racks:             8,
+		ServersPerRack:    8,
+		SimRacks:          8,
+		SimServersPerRack: 8,
+		SimVMs:            12,
+		MigrationRate:     0.03,
+	}
+}
+
+// Full returns the paper-scale configuration.
+func Full() Config {
+	return Config{
+		Seed:              1,
+		VMs:               196,
+		SmallVMs:          64,
+		Runs:              100,
+		MsgBytes:          8 << 20,
+		TimeStep:          10,
+		Racks:             32,
+		ServersPerRack:    32,
+		SimRacks:          32,
+		SimServersPerRack: 32,
+		SimVMs:            64,
+		MigrationRate:     0.003,
+	}
+}
+
+// env bundles a provisioned synthetic cluster with a calibrated advisor.
+type env struct {
+	cfg      Config
+	provider *cloud.Provider
+	cluster  *cloud.VirtualCluster
+	advisor  *core.Advisor
+	rng      *rand.Rand
+}
+
+// newEnv provisions a cluster of n VMs and calibrates the advisor once.
+func newEnv(cfg Config, n int, seedOffset int64) (*env, error) {
+	return newEnvWith(cfg, n, seedOffset, cloud.ProviderConfig{})
+}
+
+// newEnvWith is newEnv with provider overrides (tree, seed and migration
+// rate are still filled from cfg).
+func newEnvWith(cfg Config, n int, seedOffset int64, pc cloud.ProviderConfig) (*env, error) {
+	pc.Tree = topo.TreeConfig{Racks: cfg.Racks, ServersPerRack: cfg.ServersPerRack}
+	pc.Seed = cfg.Seed + seedOffset
+	pc.MigrationRate = cfg.MigrationRate
+	p := cloud.NewProvider(pc)
+	vc, err := p.Provision(n, cfg.Seed+seedOffset+1)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed + seedOffset + 2)
+	adv := core.NewAdvisor(vc, rng, core.AdvisorConfig{TimeStep: cfg.TimeStep})
+	if err := adv.Calibrate(); err != nil {
+		return nil, err
+	}
+	return &env{cfg: cfg, provider: p, cluster: vc, advisor: adv, rng: rng}, nil
+}
+
+// collectiveElapsed plans the strategy's tree against the advisor guidance
+// and executes it against the instantaneous snapshot — the trace-replay
+// methodology of §V-D.
+func (e *env) collectiveElapsed(s core.Strategy, op mpi.Collective, root int, snapshot *netmodel.PerfMatrix) float64 {
+	tree := e.advisor.PlanTree(s, root, e.cfg.MsgBytes, e.provider.Topo, e.cluster.Hosts)
+	return mpi.RunCollective(mpi.NewAnalyticNet(snapshot), tree, op, e.cfg.MsgBytes)
+}
+
+// mappingElapsed evaluates the topology-mapping workload for a strategy:
+// the task graph is mapped with the strategy's machine graph (ring for
+// Baseline) and costed against the instantaneous snapshot.
+func (e *env) mappingElapsed(s core.Strategy, task *mapping.Graph, snapshot *netmodel.PerfMatrix) float64 {
+	n := e.cluster.Size()
+	var assign []int
+	switch s {
+	case core.Baseline, core.TopologyAware:
+		assign = mapping.RingMapping(n)
+	default:
+		guide := e.advisor.GuidancePerf(s)
+		machine := mapping.MachineGraphFromPerf(guide)
+		assign = mapping.GreedyMap(task, machine)
+	}
+	elapsed, _ := mapping.Cost(task, assign, snapshot)
+	return elapsed
+}
+
+// strategiesEC2 are the approaches compared on the cloud (no topology
+// information is available on EC2, §V-A).
+var strategiesEC2 = []core.Strategy{core.Baseline, core.Heuristics, core.RPCA}
+
+// strategiesSim adds the topology-aware approach available in simulation.
+var strategiesSim = []core.Strategy{core.Baseline, core.TopologyAware, core.Heuristics, core.RPCA}
+
+// meanOf averages a slice.
+func meanOf(xs []float64) float64 { return stats.Mean(xs) }

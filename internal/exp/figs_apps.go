@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"fmt"
+
+	"netconstant/internal/apps"
+	"netconstant/internal/core"
+	"netconstant/internal/mpi"
+)
+
+// Fig9Result reports a real-application sweep with per-strategy breakdowns.
+type Fig9Result struct {
+	Table *Table
+	// Totals maps sweep value -> strategy -> total elapsed seconds.
+	Totals map[string]map[core.Strategy]float64
+	// Breakdowns maps sweep value -> strategy -> breakdown.
+	Breakdowns map[string]map[core.Strategy]apps.Breakdown
+}
+
+// appTrees plans the gather and broadcast trees a strategy uses for the
+// applications' all-to-all (root fixed at rank 0, as both operations share
+// the root in the MPICH2 composition).
+func (e *env) appTrees(s core.Strategy, msg float64) (*mpi.Tree, *mpi.Tree) {
+	t := e.advisor.PlanTree(s, 0, msg, e.provider.Topo, e.cluster.Hosts)
+	return t, t
+}
+
+// overheadFor returns the "Other Overheads" component of Fig 9: the
+// calibration plus RPCA analysis cost, charged to strategies that require
+// measurements.
+func (e *env) overheadFor(s core.Strategy) float64 {
+	if s == core.Baseline || s == core.TopologyAware {
+		return 0
+	}
+	// One calibration per application execution (paper §V-A: "the temporal
+	// performance matrix is calibrated once for one execution").
+	return e.advisor.CalibrationCost() / float64(e.advisor.Calibrations())
+}
+
+// Fig9aCG regenerates Figure 9(a): CG total time (computation,
+// communication, overheads) versus vector size for Baseline (MPICH2),
+// Heuristics and RPCA. Small vectors are dominated by calibration
+// overhead; large vectors show the paper's ~31% gain over Baseline.
+func Fig9aCG(cfg Config, vectorSizes []int) (*Fig9Result, error) {
+	if len(vectorSizes) == 0 {
+		vectorSizes = []int{1000, 4000, 16000, 64000}
+	}
+	e, err := newEnv(cfg, cfg.VMs, 900)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{
+		Table:      NewTable("Fig 9a: CG elapsed time vs vector size", "vector size", "strategy", "comp (s)", "comm (s)", "overhead (s)", "total (s)"),
+		Totals:     map[string]map[core.Strategy]float64{},
+		Breakdowns: map[string]map[core.Strategy]apps.Breakdown{},
+	}
+	for _, vs := range vectorSizes {
+		key := fmt.Sprint(vs)
+		res.Totals[key] = map[core.Strategy]float64{}
+		res.Breakdowns[key] = map[core.Strategy]apps.Breakdown{}
+		e.cluster.AdvanceTime(60)
+		snap := e.cluster.SnapshotPerf()
+		chunk := float64(vs) / float64(cfg.VMs) * 8
+		for _, s := range strategiesEC2 {
+			g, b := e.appTrees(s, chunk)
+			out, err := apps.RunCG(mpi.NewAnalyticNet(snap), g, b, apps.CGConfig{
+				VectorSize: vs,
+				Ranks:      cfg.VMs,
+				MaxIter:    4000,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out.Breakdown.Overhead = e.overheadFor(s)
+			res.Totals[key][s] = out.Breakdown.Total()
+			res.Breakdowns[key][s] = out.Breakdown
+			res.Table.AddRow(key, s.String(), f(out.Breakdown.Computation), f(out.Breakdown.Communication), f(out.Breakdown.Overhead), f(out.Breakdown.Total()))
+		}
+	}
+	return res, nil
+}
+
+// Fig9bNBodySteps regenerates Figure 9(b): N-body elapsed time versus
+// #Step at a fixed 1 MB message.
+func Fig9bNBodySteps(cfg Config, steps []int, bodies int) (*Fig9Result, error) {
+	if len(steps) == 0 {
+		steps = []int{10, 40, 160, 640}
+	}
+	if bodies == 0 {
+		bodies = 128
+	}
+	e, err := newEnv(cfg, cfg.VMs, 910)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{
+		Table:      NewTable("Fig 9b: N-body elapsed time vs #Step (1 MB messages)", "#Step", "strategy", "comp (s)", "comm (s)", "overhead (s)", "total (s)"),
+		Totals:     map[string]map[core.Strategy]float64{},
+		Breakdowns: map[string]map[core.Strategy]apps.Breakdown{},
+	}
+	const msg = 1 << 20
+	for _, st := range steps {
+		key := fmt.Sprint(st)
+		res.Totals[key] = map[core.Strategy]float64{}
+		res.Breakdowns[key] = map[core.Strategy]apps.Breakdown{}
+		e.cluster.AdvanceTime(60)
+		snap := e.cluster.SnapshotPerf()
+		for _, s := range strategiesEC2 {
+			g, b := e.appTrees(s, msg)
+			out, err := apps.RunNBody(mpi.NewAnalyticNet(snap), g, b, apps.NBodyConfig{
+				Bodies: bodies, Steps: st, Ranks: cfg.VMs, MsgBytes: msg, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out.Breakdown.Overhead = e.overheadFor(s)
+			res.Totals[key][s] = out.Breakdown.Total()
+			res.Breakdowns[key][s] = out.Breakdown
+			res.Table.AddRow(key, s.String(), f(out.Breakdown.Computation), f(out.Breakdown.Communication), f(out.Breakdown.Overhead), f(out.Breakdown.Total()))
+		}
+	}
+	return res, nil
+}
+
+// Fig9cNBodyMsg regenerates Figure 9(c): N-body elapsed time versus
+// message size at a fixed #Step.
+func Fig9cNBodyMsg(cfg Config, msgs []float64, steps, bodies int) (*Fig9Result, error) {
+	if len(msgs) == 0 {
+		msgs = []float64{1 << 10, 16 << 10, 128 << 10, 1 << 20}
+	}
+	if steps == 0 {
+		steps = 64
+	}
+	if bodies == 0 {
+		bodies = 128
+	}
+	e, err := newEnv(cfg, cfg.VMs, 920)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{
+		Table:      NewTable("Fig 9c: N-body elapsed time vs message size", "msg bytes", "strategy", "comp (s)", "comm (s)", "overhead (s)", "total (s)"),
+		Totals:     map[string]map[core.Strategy]float64{},
+		Breakdowns: map[string]map[core.Strategy]apps.Breakdown{},
+	}
+	for _, msg := range msgs {
+		key := fmt.Sprint(int(msg))
+		res.Totals[key] = map[core.Strategy]float64{}
+		res.Breakdowns[key] = map[core.Strategy]apps.Breakdown{}
+		e.cluster.AdvanceTime(60)
+		snap := e.cluster.SnapshotPerf()
+		for _, s := range strategiesEC2 {
+			g, b := e.appTrees(s, msg)
+			out, err := apps.RunNBody(mpi.NewAnalyticNet(snap), g, b, apps.NBodyConfig{
+				Bodies: bodies, Steps: steps, Ranks: cfg.VMs, MsgBytes: msg, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out.Breakdown.Overhead = e.overheadFor(s)
+			res.Totals[key][s] = out.Breakdown.Total()
+			res.Breakdowns[key][s] = out.Breakdown
+			res.Table.AddRow(key, s.String(), f(out.Breakdown.Computation), f(out.Breakdown.Communication), f(out.Breakdown.Overhead), f(out.Breakdown.Total()))
+		}
+	}
+	return res, nil
+}

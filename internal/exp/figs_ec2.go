@@ -1,0 +1,283 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"netconstant/internal/cloud"
+	"netconstant/internal/core"
+	"netconstant/internal/mapping"
+	"netconstant/internal/mat"
+	"netconstant/internal/mpi"
+	"netconstant/internal/netmodel"
+	"netconstant/internal/rpca"
+	"netconstant/internal/stats"
+)
+
+// Fig4Result reports calibration overhead versus cluster size.
+type Fig4Result struct {
+	Table *Table
+	// CostSeconds maps cluster size to estimated paired-calibration cost.
+	CostSeconds map[int]float64
+	// RPCASeconds is the measured wall-clock time of one RPCA analysis at
+	// the largest size (paper: < 1 minute at 196 instances).
+	RPCASeconds float64
+}
+
+// Fig4Calibration regenerates Figure 4: the overhead of calibrating one
+// temporal performance matrix for different numbers of instances, plus the
+// §V-B claim that one RPCA run costs well under a minute.
+func Fig4Calibration(cfg Config, sizes []int) (*Fig4Result, error) {
+	if len(sizes) == 0 {
+		sizes = []int{16, 32, 64, 128, 196}
+	}
+	// EC2-medium-like reference link for the analytic curve (the paper's
+	// pingpong bandwidth regime).
+	typical := netmodel.Link{Alpha: 300e-6, Beta: 100e6}
+	res := &Fig4Result{
+		Table:       NewTable("Fig 4: calibration overhead vs #instances (time step = 10)", "instances", "est. cost (min)", "measured (min)"),
+		CostSeconds: map[int]float64{},
+	}
+	for _, n := range sizes {
+		// The figure covers one whole TP-matrix: time-step (10) calibration
+		// passes.
+		est := float64(cfg.TimeStep) * cloud.EstimateCalibrationCost(n, typical, cloud.CalibrationConfig{})
+		res.CostSeconds[n] = est
+		measured := ""
+		if n <= cfg.VMs*2 { // actually run the small sizes
+			e, err := newEnv(cfg, n, int64(n))
+			if err == nil {
+				cal := cloud.CalibrateTP(e.cluster, e.rng, cfg.TimeStep, 0, cloud.CalibrationConfig{})
+				measured = f(cal.TotalCost / 60)
+			}
+		}
+		res.Table.AddRow(fmt.Sprint(n), f(est/60), measured)
+	}
+
+	// Measure the RPCA analysis cost at the largest requested size.
+	nMax := sizes[len(sizes)-1]
+	rng := stats.NewRNG(cfg.Seed)
+	a := mat.RandomNormal(rng, cfg.TimeStep, nMax*nMax, 50e6, 5e6)
+	start := time.Now()
+	if _, err := rpca.Decompose(a, rpca.Options{}); err != nil {
+		return nil, err
+	}
+	res.RPCASeconds = time.Since(start).Seconds()
+	res.Table.AddNote("one RPCA analysis at %d instances took %.2f s wall clock (paper: < 1 min)", nMax, res.RPCASeconds)
+	return res, nil
+}
+
+// Fig5Result reports the time-step accuracy sweep.
+type Fig5Result struct {
+	Table *Table
+	// RelDiff maps time step to the relative difference of the predicted
+	// long-term performance against the whole-trace oracle.
+	RelDiff map[int]float64
+}
+
+// Fig5TimeStep regenerates Figure 5: the relative difference of long-term
+// performance for different time steps; the paper selects the largest
+// step within 10% (step = 10).
+func Fig5TimeStep(cfg Config, steps []int) (*Fig5Result, error) {
+	if len(steps) == 0 {
+		steps = []int{2, 3, 5, 8, 10, 15, 20, 30}
+	}
+	maxStep := steps[0]
+	for _, s := range steps {
+		if s > maxStep {
+			maxStep = s
+		}
+	}
+	e, err := newEnv(cfg, cfg.VMs, 500)
+	if err != nil {
+		return nil, err
+	}
+	tc := cloud.SnapshotTP(e.cluster, maxStep, 30*60)
+	rel, err := core.TimeStepAccuracy(tc.Bandwidth, steps, rpca.Options{}, rpca.ExtractMean)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{Table: NewTable("Fig 5: relative difference of long-term performance vs time step", "time step", "relative difference"), RelDiff: rel}
+	for _, s := range steps {
+		res.Table.AddRow(fmt.Sprint(s), pct(rel[s]))
+	}
+	res.Table.AddNote("paper selects the largest step within 10%%: step = 10")
+	return res, nil
+}
+
+// Fig6Result reports the maintenance-threshold sweep.
+type Fig6Result struct {
+	Table *Table
+	// AvgBcast and MaintenancePerRun are indexed by threshold.
+	AvgBcast          map[float64]float64
+	MaintenancePerRun map[float64]float64
+	Recalibrations    map[float64]int
+}
+
+// Fig6Threshold regenerates Figure 6: broadcast performance and the
+// breakdown of communication time versus update-maintenance overhead for
+// different thresholds, over a multi-day run with one operation every 30
+// minutes (the paper's week-long methodology).
+func Fig6Threshold(cfg Config, thresholds []float64, days float64) (*Fig6Result, error) {
+	if len(thresholds) == 0 {
+		thresholds = []float64{0.1, 0.2, 0.5, 1.0, 1.5, 2.0}
+	}
+	if days <= 0 {
+		days = 2
+	}
+	runs := int(days * 48) // one run every 30 minutes
+	res := &Fig6Result{
+		Table:             NewTable("Fig 6: maintenance threshold sweep (broadcast, 8 MB)", "threshold", "avg Bcast (s)", "maintenance/run (s)", "avg response (s)", "recalibrations"),
+		AvgBcast:          map[float64]float64{},
+		MaintenancePerRun: map[float64]float64{},
+		Recalibrations:    map[float64]int{},
+	}
+	for _, th := range thresholds {
+		e, err := newEnv(cfg, cfg.VMs, 600) // same seed -> same cluster dynamics
+		if err != nil {
+			return nil, err
+		}
+		e.advisor = core.NewAdvisor(e.cluster, e.rng, core.AdvisorConfig{TimeStep: cfg.TimeStep, Threshold: th})
+		if err := e.advisor.Calibrate(); err != nil {
+			return nil, err
+		}
+		initialCost := e.advisor.CalibrationCost()
+		var bcastSum float64
+		root := 0
+		for r := 0; r < runs; r++ {
+			e.cluster.AdvanceTime(30 * 60)
+			snap := e.cluster.SnapshotPerf()
+			tree := e.advisor.PlanTree(core.RPCA, root, cfg.MsgBytes, nil, nil)
+			expected := e.advisor.ExpectedTime(tree, mpi.Broadcast, cfg.MsgBytes)
+			actual := mpi.RunCollective(mpi.NewAnalyticNet(snap), tree, mpi.Broadcast, cfg.MsgBytes)
+			bcastSum += actual
+			if _, err := e.advisor.Observe(expected, actual); err != nil {
+				return nil, err
+			}
+		}
+		maintenance := (e.advisor.CalibrationCost() - initialCost) / float64(runs)
+		avg := bcastSum / float64(runs)
+		res.AvgBcast[th] = avg
+		res.MaintenancePerRun[th] = maintenance
+		res.Recalibrations[th] = e.advisor.Recalibrations()
+		res.Table.AddRow(pct(th), f(avg), f(maintenance), f(avg+maintenance), fmt.Sprint(e.advisor.Recalibrations()))
+	}
+	res.Table.AddNote("%d runs over %.1f days, one broadcast every 30 min", runs, days)
+	return res, nil
+}
+
+// Fig7Result reports the headline EC2-style comparison.
+type Fig7Result struct {
+	Table    *Table
+	CDFTable *Table
+	// Normalized maps strategy -> app -> mean elapsed normalized to
+	// Baseline (lower is better).
+	Normalized map[core.Strategy]map[string]float64
+	NormE      float64
+	// BcastTimes holds the raw broadcast samples per strategy for CDFs.
+	BcastTimes map[core.Strategy][]float64
+}
+
+// Fig7Overall regenerates Figure 7: the average performance of broadcast,
+// scatter and topology mapping under Baseline/Heuristics/RPCA, normalized
+// to Baseline, plus the broadcast CDF. The paper reports RPCA beating
+// Baseline by 32–40% and Heuristics by 8–10% with Norm(N_E) ≈ 0.1.
+func Fig7Overall(cfg Config) (*Fig7Result, error) {
+	e, err := newEnv(cfg, cfg.VMs, 700)
+	if err != nil {
+		return nil, err
+	}
+	apps := []string{"broadcast", "scatter", "mapping"}
+	sums := map[core.Strategy]map[string]float64{}
+	bcast := map[core.Strategy][]float64{}
+	for _, s := range strategiesEC2 {
+		sums[s] = map[string]float64{}
+	}
+	for r := 0; r < cfg.Runs; r++ {
+		e.cluster.AdvanceTime(30 * 60)
+		snap := e.cluster.SnapshotPerf()
+		root := e.rng.Intn(cfg.VMs) // paper: root randomly chosen
+		task := mapping.RandomTaskGraph(e.rng, cfg.VMs, 0.1, 5<<20, 10<<20)
+		for _, s := range strategiesEC2 {
+			b := e.collectiveElapsed(s, mpi.Broadcast, root, snap)
+			sums[s]["broadcast"] += b
+			bcast[s] = append(bcast[s], b)
+			sums[s]["scatter"] += e.collectiveElapsed(s, mpi.Scatter, root, snap)
+			sums[s]["mapping"] += e.mappingElapsed(s, task, snap)
+		}
+	}
+	res := &Fig7Result{
+		Table:      NewTable("Fig 7a: mean elapsed normalized to Baseline (196-instance analogue)", "strategy", "broadcast", "scatter", "mapping"),
+		Normalized: map[core.Strategy]map[string]float64{},
+		NormE:      e.advisor.NormE(),
+		BcastTimes: bcast,
+	}
+	for _, s := range strategiesEC2 {
+		res.Normalized[s] = map[string]float64{}
+		row := []string{s.String()}
+		for _, app := range apps {
+			norm := sums[s][app] / sums[core.Baseline][app]
+			res.Normalized[s][app] = norm
+			row = append(row, f(norm))
+		}
+		res.Table.AddRow(row...)
+	}
+	res.Table.AddNote("Norm(N_E) = %.3f (paper: ~0.1 on EC2)", res.NormE)
+
+	res.CDFTable = NewTable("Fig 7b: broadcast elapsed-time CDF (seconds)", "percentile", "Baseline", "Heuristics", "RPCA")
+	cdfs := map[core.Strategy]*stats.CDF{}
+	for _, s := range strategiesEC2 {
+		cdfs[s] = stats.NewCDF(bcast[s])
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		res.CDFTable.AddRow(pct(q), f(cdfs[core.Baseline].Quantile(q)), f(cdfs[core.Heuristics].Quantile(q)), f(cdfs[core.RPCA].Quantile(q)))
+	}
+	return res, nil
+}
+
+// Fig8Result reports improvement versus cluster size and message size.
+type Fig8Result struct {
+	Table *Table
+	// Improvement maps cluster size -> app -> fractional improvement of
+	// RPCA over Baseline.
+	Improvement map[int]map[string]float64
+}
+
+// Fig8ClusterSize regenerates Figure 8: the RPCA-over-Baseline improvement
+// for different numbers of instances; the paper finds larger clusters
+// (spread over more racks) gain more.
+func Fig8ClusterSize(cfg Config) (*Fig8Result, error) {
+	res := &Fig8Result{
+		Table:       NewTable("Fig 8: RPCA improvement over Baseline vs cluster size", "instances", "broadcast", "scatter", "mapping", "rack spread"),
+		Improvement: map[int]map[string]float64{},
+	}
+	for _, n := range []int{cfg.SmallVMs, cfg.VMs} {
+		sub := cfg
+		sub.VMs = n
+		e, err := newEnv(sub, n, 800+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		sums := map[core.Strategy]map[string]float64{
+			core.Baseline: {}, core.RPCA: {},
+		}
+		for r := 0; r < cfg.Runs; r++ {
+			e.cluster.AdvanceTime(30 * 60)
+			snap := e.cluster.SnapshotPerf()
+			root := e.rng.Intn(n)
+			task := mapping.RandomTaskGraph(e.rng, n, 0.1, 5<<20, 10<<20)
+			for s := range sums {
+				sums[s]["broadcast"] += e.collectiveElapsed(s, mpi.Broadcast, root, snap)
+				sums[s]["scatter"] += e.collectiveElapsed(s, mpi.Scatter, root, snap)
+				sums[s]["mapping"] += e.mappingElapsed(s, task, snap)
+			}
+		}
+		imp := map[string]float64{}
+		for _, app := range []string{"broadcast", "scatter", "mapping"} {
+			imp[app] = stats.RelImprovement(sums[core.Baseline][app], sums[core.RPCA][app])
+		}
+		res.Improvement[n] = imp
+		res.Table.AddRow(fmt.Sprint(n), pct(imp["broadcast"]), pct(imp["scatter"]), pct(imp["mapping"]), fmt.Sprint(e.cluster.RackSpread()))
+	}
+	return res, nil
+}

@@ -1,0 +1,386 @@
+// Package mat implements the dense linear algebra needed by the RPCA solver:
+// matrices, basic operations, norms, symmetric eigendecomposition (Jacobi),
+// singular value decomposition (one-sided Jacobi plus a Gram-matrix route
+// for very fat matrices such as temporal performance matrices), Householder
+// QR, and the thresholding operators used by proximal-gradient methods.
+//
+// The package is self-contained (stdlib only) and uses float64 throughout.
+// Matrices are stored row-major.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense creates an r×c zero matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseData wraps the given row-major backing slice (not copied) as an
+// r×c matrix. It panics if len(data) != r*c.
+func NewDenseData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d != %d*%d", len(data), r, c))
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows (copied).
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	c := len(rows[0])
+	m := NewDense(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("mat: ragged rows")
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Random returns an r×c matrix with i.i.d. entries drawn uniformly from
+// [lo, hi) using the supplied source.
+func Random(rng *rand.Rand, r, c int, lo, hi float64) *Dense {
+	m := NewDense(r, c)
+	for i := range m.data {
+		m.data[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return m
+}
+
+// RandomNormal returns an r×c matrix with i.i.d. N(mean, stddev²) entries.
+func RandomNormal(rng *rand.Rand, r, c int, mean, stddev float64) *Dense {
+	m := NewDense(r, c)
+	for i := range m.data {
+		m.data[i] = mean + stddev*rng.NormFloat64()
+	}
+	return m
+}
+
+// Dims returns the matrix dimensions.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// Rows returns the row count.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of bounds %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a view (not a copy) of row i as a slice.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic("mat: row out of bounds")
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic("mat: col out of bounds")
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Data returns the backing row-major slice (not a copy).
+func (m *Dense) Data() []float64 { return m.data }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Add returns m + b as a new matrix.
+func (m *Dense) Add(b *Dense) *Dense {
+	m.sameDims(b)
+	out := NewDense(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns m - b as a new matrix.
+func (m *Dense) Sub(b *Dense) *Dense {
+	m.sameDims(b)
+	out := NewDense(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] - b.data[i]
+	}
+	return out
+}
+
+// AddInPlace adds b into m.
+func (m *Dense) AddInPlace(b *Dense) {
+	m.sameDims(b)
+	for i := range m.data {
+		m.data[i] += b.data[i]
+	}
+}
+
+// SubInPlace subtracts b from m.
+func (m *Dense) SubInPlace(b *Dense) {
+	m.sameDims(b)
+	for i := range m.data {
+		m.data[i] -= b.data[i]
+	}
+}
+
+// Scale returns s*m as a new matrix.
+func (m *Dense) Scale(s float64) *Dense {
+	out := NewDense(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = s * m.data[i]
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Dense) ScaleInPlace(s float64) {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+}
+
+func (m *Dense) sameDims(b *Dense) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("mat: dimension mismatch %dx%d vs %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+}
+
+// Mul returns the matrix product m·b. It panics on inner-dimension mismatch.
+// The inner loop is ordered (i, k, j) for cache-friendly row-major access.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("mat: inner dimension mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := NewDense(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		arow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*b.cols : (i+1)*b.cols]
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bkj := range brow {
+				orow[j] += aik * bkj
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic("mat: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulTVec returns mᵀ·x without materializing the transpose.
+func (m *Dense) MulTVec(x []float64) []float64 {
+	if len(x) != m.rows {
+		panic("mat: MulTVec dimension mismatch")
+	}
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out
+}
+
+// Gram returns m·mᵀ (rows×rows), the Gram matrix of the rows. For fat
+// matrices (rows ≪ cols) this is the cheap route to a thin SVD.
+func (m *Dense) Gram() *Dense {
+	g := NewDense(m.rows, m.rows)
+	for i := 0; i < m.rows; i++ {
+		ri := m.data[i*m.cols : (i+1)*m.cols]
+		for j := i; j < m.rows; j++ {
+			rj := m.data[j*m.cols : (j+1)*m.cols]
+			var s float64
+			for k := range ri {
+				s += ri[k] * rj[k]
+			}
+			g.data[i*g.cols+j] = s
+			g.data[j*g.cols+i] = s
+		}
+	}
+	return g
+}
+
+// ApproxEqual reports whether every element of m and b differs by at most tol.
+func (m *Dense) ApproxEqual(b *Dense, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i := range m.data {
+		if math.Abs(m.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply replaces every element x with f(i, j, x).
+func (m *Dense) Apply(f func(i, j int, v float64) float64) {
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			idx := i*m.cols + j
+			m.data[idx] = f(i, j, m.data[idx])
+		}
+	}
+}
+
+// String renders the matrix for debugging (rows capped at 12).
+func (m *Dense) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%dx%d\n", m.rows, m.cols)
+	maxr := m.rows
+	if maxr > 12 {
+		maxr = 12
+	}
+	maxc := m.cols
+	if maxc > 12 {
+		maxc = 12
+	}
+	for i := 0; i < maxr; i++ {
+		for j := 0; j < maxc; j++ {
+			fmt.Fprintf(&sb, "%10.4g ", m.At(i, j))
+		}
+		if maxc < m.cols {
+			sb.WriteString("...")
+		}
+		sb.WriteByte('\n')
+	}
+	if maxr < m.rows {
+		sb.WriteString("...\n")
+	}
+	return sb.String()
+}
+
+// Outer returns the outer product u·vᵀ.
+func Outer(u, v []float64) *Dense {
+	m := NewDense(len(u), len(v))
+	for i, ui := range u {
+		if ui == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, vj := range v {
+			row[j] = ui * vj
+		}
+	}
+	return m
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// VecNorm2 returns the Euclidean norm of v.
+func VecNorm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales v to unit Euclidean norm in place and returns its
+// original norm. A zero vector is left unchanged.
+func Normalize(v []float64) float64 {
+	n := VecNorm2(v)
+	if n == 0 {
+		return 0
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return n
+}

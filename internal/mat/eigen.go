@@ -1,0 +1,98 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// EigSym computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi rotation method. It returns eigenvalues in descending order
+// and the matrix of corresponding eigenvectors in columns, so that
+// m = V · diag(vals) · Vᵀ. The input is not modified.
+//
+// Jacobi iteration is quadratically convergent and unconditionally stable,
+// which suits the small Gram matrices (time-step × time-step) that the RPCA
+// thin-SVD route produces.
+func EigSym(m *Dense) (vals []float64, vecs *Dense) {
+	n := m.rows
+	if m.cols != n {
+		panic("mat: EigSym requires a square matrix")
+	}
+	a := m.Clone()
+	v := Eye(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm; stop when negligible.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a.data[i*n+j] * a.data[i*n+j]
+			}
+		}
+		if math.Sqrt(2*off) <= 1e-14*math.Max(1, a.NormFrobenius()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.data[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := a.data[p*n+p]
+				aqq := a.data[q*n+q]
+				// Compute the Jacobi rotation that annihilates a[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply rotation: A <- Jᵀ A J, rows/cols p and q only.
+				for k := 0; k < n; k++ {
+					akp := a.data[k*n+p]
+					akq := a.data[k*n+q]
+					a.data[k*n+p] = c*akp - s*akq
+					a.data[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk := a.data[p*n+k]
+					aqk := a.data[q*n+k]
+					a.data[p*n+k] = c*apk - s*aqk
+					a.data[q*n+k] = s*apk + c*aqk
+				}
+				// Accumulate eigenvectors: V <- V J.
+				for k := 0; k < n; k++ {
+					vkp := v.data[k*n+p]
+					vkq := v.data[k*n+q]
+					v.data[k*n+p] = c*vkp - s*vkq
+					v.data[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = a.data[i*n+i]
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return vals[idx[x]] > vals[idx[y]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewDense(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.data[r*n+newCol] = v.data[r*n+oldCol]
+		}
+	}
+	return sortedVals, sortedVecs
+}

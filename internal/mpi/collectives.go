@@ -1,0 +1,134 @@
+package mpi
+
+import "fmt"
+
+// Collective identifies one of the four basic operations studied by the
+// paper (§II-C) plus the composed all-to-all used by its applications.
+type Collective int
+
+// The supported collective operations.
+const (
+	Broadcast Collective = iota
+	Scatter
+	Gather
+	Reduce
+)
+
+// String names the collective.
+func (c Collective) String() string {
+	switch c {
+	case Broadcast:
+		return "broadcast"
+	case Scatter:
+		return "scatter"
+	case Gather:
+		return "gather"
+	case Reduce:
+		return "reduce"
+	default:
+		return fmt.Sprintf("collective(%d)", int(c))
+	}
+}
+
+// RunCollective executes the collective on the network along the tree and
+// returns the elapsed simulated time. msgBytes is the per-rank message
+// size (for broadcast/reduce the full message; for scatter/gather the
+// per-rank chunk, so internal edges carry subtree-size × msgBytes).
+func RunCollective(net Network, t *Tree, op Collective, msgBytes float64) float64 {
+	switch op {
+	case Broadcast:
+		return runTopDown(net, t, func(child int) float64 { return msgBytes })
+	case Scatter:
+		sizes := t.SubtreeSizes()
+		return runTopDown(net, t, func(child int) float64 { return float64(sizes[child]) * msgBytes })
+	case Gather:
+		sizes := t.SubtreeSizes()
+		return runBottomUp(net, t, func(node int) float64 { return float64(sizes[node]) * msgBytes })
+	case Reduce:
+		return runBottomUp(net, t, func(node int) float64 { return msgBytes })
+	default:
+		panic("mpi: unknown collective")
+	}
+}
+
+// runTopDown executes broadcast-style dissemination: a node that holds the
+// data transmits to its children sequentially (single-port sender); a
+// child becomes a sender once its receive completes. bytesFor gives the
+// payload of the edge into each child. Returns the elapsed time until the
+// last rank holds its data.
+func runTopDown(net Network, t *Tree, bytesFor func(child int) float64) float64 {
+	start := net.Now()
+	finish := start
+	var onReady func(node int)
+	onReady = func(node int) {
+		if at := net.Now(); at > finish {
+			finish = at
+		}
+		children := t.Children[node]
+		var sendNext func(k int)
+		sendNext = func(k int) {
+			if k >= len(children) {
+				return
+			}
+			child := children[k]
+			net.Send(node, child, bytesFor(child), func(float64) {
+				onReady(child)
+				sendNext(k + 1)
+			})
+		}
+		sendNext(0)
+	}
+	onReady(t.Root)
+	net.Run()
+	return finish - start
+}
+
+// runBottomUp executes gather-style aggregation: a node transmits its
+// (combined) data to its parent once all of its children have delivered.
+// bytesFor gives the payload a node sends upward. Returns the elapsed time
+// until the root holds everything.
+func runBottomUp(net Network, t *Tree, bytesFor func(node int) float64) float64 {
+	start := net.Now()
+	finish := start
+	n := t.NumRanks()
+	pending := make([]int, n)
+	for v := 0; v < n; v++ {
+		pending[v] = len(t.Children[v])
+	}
+	var nodeDone func(node int)
+	nodeDone = func(node int) {
+		// All children of `node` delivered; node forwards upward.
+		if node == t.Root {
+			if at := net.Now(); at > finish {
+				finish = at
+			}
+			return
+		}
+		parent := t.Parent[node]
+		net.Send(node, parent, bytesFor(node), func(float64) {
+			pending[parent]--
+			if pending[parent] == 0 {
+				nodeDone(parent)
+			}
+		})
+	}
+	for v := 0; v < n; v++ {
+		if pending[v] == 0 {
+			nodeDone(v)
+		}
+	}
+	net.Run()
+	return finish - start
+}
+
+// RunAllToAll executes the simple all-to-all composition the paper's
+// applications use (§V-A, "we implement the all-to-all communication with
+// a gather followed by a broadcast, which is also used in MPICH2"):
+// per-rank chunks are gathered to the root along gatherTree, then the
+// combined buffer (n×msgBytes) is broadcast along bcastTree. Returns the
+// total elapsed time.
+func RunAllToAll(net Network, gatherTree, bcastTree *Tree, msgBytes float64) float64 {
+	g := RunCollective(net, gatherTree, Gather, msgBytes)
+	b := RunCollective(net, bcastTree, Broadcast, float64(gatherTree.NumRanks())*msgBytes)
+	return g + b
+}

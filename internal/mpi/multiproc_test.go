@@ -1,0 +1,165 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"netconstant/internal/netmodel"
+)
+
+func TestRoundRobinPlacement(t *testing.T) {
+	p := RoundRobinPlacement(3, 2)
+	if p.MachineOf[0] != 0 || p.MachineOf[1] != 1 || p.MachineOf[3] != 0 {
+		t.Errorf("round robin assignment %v", p.MachineOf)
+	}
+}
+
+func TestFNFTreeMultiProcessValidAndRooted(t *testing.T) {
+	machineW := uniformPerf(3, 0, 1).Weights(10)
+	p := RoundRobinPlacement(3, 3)
+	// Root on a non-zero machine.
+	tree := FNFTreeMultiProcess(machineW, p, 4)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root != 4 {
+		t.Error("root rank")
+	}
+	if got := CrossMachineEdges(tree, p); got != 2 {
+		t.Errorf("cross edges %d want 2", got)
+	}
+	mustPanic(t, func() { FNFTreeMultiProcess(machineW, BlockPlacement(4, 1), 0) })
+}
+
+func TestPlacementBasics(t *testing.T) {
+	p := BlockPlacement(3, 2)
+	if p.Ranks() != 6 || p.Machines() != 3 {
+		t.Fatal("block placement shape")
+	}
+	if !p.Colocated(0, 1) || p.Colocated(1, 2) {
+		t.Error("colocated")
+	}
+	if _, err := NewPlacement([]int{0, 1, 5}, 3); err == nil {
+		t.Error("out-of-range machine should error")
+	}
+	if _, err := NewPlacement(nil, 3); err == nil {
+		t.Error("empty placement should error")
+	}
+	if pl, err := NewPlacement([]int{0, 2, 1}, 3); err != nil || pl.Ranks() != 3 {
+		t.Error("valid placement rejected")
+	}
+}
+
+func TestExpandPerf(t *testing.T) {
+	machine := uniformPerf(2, 1e-3, 1e6)
+	p := BlockPlacement(2, 2)
+	local := netmodel.Link{Alpha: 1e-6, Beta: 1e10}
+	rank := ExpandPerf(machine, p, local)
+	if rank.N != 4 {
+		t.Fatal("expanded size")
+	}
+	// Co-located ranks 0,1 get the loopback.
+	if rank.Link(0, 1) != local {
+		t.Error("loopback link")
+	}
+	// Cross-machine ranks inherit the machine link.
+	if rank.Link(0, 2).Beta != 1e6 {
+		t.Error("network link")
+	}
+	mustPanic(t, func() { ExpandPerf(machine, BlockPlacement(3, 1), local) })
+}
+
+func TestExpandWeights(t *testing.T) {
+	machine := uniformPerf(2, 0, 1).Weights(10)
+	p := BlockPlacement(2, 3)
+	w := ExpandWeights(machine, p, 0.001)
+	if w.Rows() != 6 {
+		t.Fatal("size")
+	}
+	if w.At(0, 1) != 0.001 || w.At(0, 3) != 10 {
+		t.Errorf("weights: local %v network %v", w.At(0, 1), w.At(0, 3))
+	}
+	mustPanic(t, func() { ExpandWeights(machine, BlockPlacement(3, 1), 1) })
+}
+
+func TestFNFTreeMultiProcessPrefersLocalFanout(t *testing.T) {
+	// 4 machines × 4 ranks: the FNF tree should pay for far fewer network
+	// edges than machines-1 × per-machine ranks would naively suggest —
+	// ideally machines−1 cross edges (one network hop per machine).
+	machines, per := 4, 4
+	machineW := uniformPerf(machines, 0, 1).Weights(100)
+	p := BlockPlacement(machines, per)
+	tree := FNFTreeMultiProcess(machineW, p, 0)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cross := CrossMachineEdges(tree, p)
+	if cross != machines-1 {
+		t.Errorf("cross-machine edges %d, want %d (local fanout first)", cross, machines-1)
+	}
+}
+
+func TestMultiProcessBroadcastBeatsNaive(t *testing.T) {
+	// Broadcast over 16 ranks on 4 machines with *heterogeneous* machine
+	// links: the placement-aware tree pays machines−1 network transfers
+	// over the best links; a placement-blind binomial tree under
+	// round-robin placement crosses machines on arbitrary (possibly slow)
+	// links many more times.
+	machines, per := 4, 4
+	machinePerf := uniformPerf(machines, 1e-3, 1e6)
+	// Links touching machine 3 are 10× slower, except the decent path in
+	// from machine 1.
+	for m := 0; m < machines-1; m++ {
+		machinePerf.SetLink(m, 3, netmodel.Link{Alpha: 1e-3, Beta: 1e5})
+		machinePerf.SetLink(3, m, netmodel.Link{Alpha: 1e-3, Beta: 1e5})
+	}
+	machinePerf.SetLink(1, 3, netmodel.Link{Alpha: 1e-3, Beta: 8e5})
+	// A shuffled placement: rank-order neighbours land on arbitrary
+	// machines, so the blind binomial tree crosses machines on whatever
+	// links rank order happens to hit (including the slow ones).
+	p, err := NewPlacement([]int{0, 1, 2, 3, 3, 2, 1, 0, 0, 1, 2, 3, 3, 2, 1, 0}, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = per
+	local := netmodel.Link{Alpha: 1e-6, Beta: 1e10}
+	rankPerf := ExpandPerf(machinePerf, p, local)
+
+	msg := 1e6
+	aware := FNFTreeMultiProcess(machinePerf.Weights(msg), p, 0)
+	blind := BinomialTree(p.Ranks(), 0)
+
+	if ca, cb := CrossMachineEdges(aware, p), CrossMachineEdges(blind, p); ca >= cb {
+		t.Errorf("aware tree should cross machines less: %d vs %d", ca, cb)
+	}
+	tAware := RunCollective(NewAnalyticNet(rankPerf), aware, Broadcast, msg)
+	tBlind := RunCollective(NewAnalyticNet(rankPerf), blind, Broadcast, msg)
+	if tAware >= tBlind {
+		t.Errorf("placement-aware %v should beat blind %v", tAware, tBlind)
+	}
+	// Lower bound sanity: at least one full network transfer.
+	if tAware < msg/1e6 {
+		t.Errorf("aware time %v below a single transfer", tAware)
+	}
+}
+
+func TestMultiProcessScatterConsistency(t *testing.T) {
+	// Scatter over the multi-process tree distributes one chunk per rank;
+	// elapsed must exceed the pure network volume lower bound.
+	machines, per := 2, 4
+	machinePerf := uniformPerf(machines, 0, 1e6)
+	p := BlockPlacement(machines, per)
+	local := netmodel.Link{Alpha: 0, Beta: 1e12}
+	rankPerf := ExpandPerf(machinePerf, p, local)
+	chunk := 1e5
+	tree := FNFTreeMultiProcess(machinePerf.Weights(chunk), p, 0)
+	el := RunCollective(NewAnalyticNet(rankPerf), tree, Scatter, chunk)
+	// Root's machine must push 4 chunks (the other machine's subtree)
+	// across the network at 1e6 B/s → ≥ 0.4 s.
+	if el < 4*chunk/1e6-1e-9 {
+		t.Errorf("scatter %v below network lower bound", el)
+	}
+	if math.IsInf(el, 0) || math.IsNaN(el) {
+		t.Error("degenerate elapsed")
+	}
+}

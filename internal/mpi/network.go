@@ -1,0 +1,119 @@
+// Package mpi is an in-process message-passing runtime with simulated
+// time. It provides the communication substrate of the paper's workloads:
+// point-to-point transfers over either an analytic α-β network or the
+// flow-level simulator, communication trees (MPICH2-style binomial, the
+// FNF network-aware tree of Banikazemi et al., and a Kandalla/Subramoni-
+// style topology-aware tree), and the collective operations evaluated in
+// the paper — broadcast, scatter, gather, reduce, and the gather+broadcast
+// all-to-all used by the N-body and CG applications.
+package mpi
+
+import (
+	"fmt"
+
+	"netconstant/internal/des"
+	"netconstant/internal/netmodel"
+	"netconstant/internal/simnet"
+)
+
+// Network abstracts the transport collectives run on. Ranks are VM
+// indices. Implementations must invoke the done callback with the
+// simulated completion time of each transfer.
+type Network interface {
+	// Now returns the current simulated time.
+	Now() float64
+	// Send starts a transfer of the given size between two ranks and
+	// invokes done when the last byte arrives.
+	Send(src, dst int, bytes float64, done func(at float64))
+	// Run advances simulated time until every outstanding Send has
+	// completed.
+	Run()
+}
+
+// AnalyticNet executes transfers under the α-β model of a performance
+// matrix: a transfer of n bytes on link (i, j) takes α_ij + n/β_ij,
+// independent of other traffic. It is the estimator used both for
+// planning (expected performance t′ in Algorithm 1) and for trace-replay
+// experiments.
+type AnalyticNet struct {
+	eng         *des.Engine
+	perf        *netmodel.PerfMatrix
+	outstanding int
+}
+
+// NewAnalyticNet wraps a performance snapshot as an executable network.
+func NewAnalyticNet(perf *netmodel.PerfMatrix) *AnalyticNet {
+	return &AnalyticNet{eng: des.NewEngine(), perf: perf}
+}
+
+// Now returns the current simulated time.
+func (a *AnalyticNet) Now() float64 { return a.eng.Now() }
+
+// Send schedules the α-β completion of the transfer.
+func (a *AnalyticNet) Send(src, dst int, bytes float64, done func(at float64)) {
+	if src == dst {
+		panic("mpi: send to self")
+	}
+	if src < 0 || src >= a.perf.N || dst < 0 || dst >= a.perf.N {
+		panic(fmt.Sprintf("mpi: rank out of range: %d -> %d (N=%d)", src, dst, a.perf.N))
+	}
+	d := a.perf.Link(src, dst).TransferTime(bytes)
+	a.outstanding++
+	a.eng.After(d, func() {
+		a.outstanding--
+		if done != nil {
+			done(a.eng.Now())
+		}
+	})
+}
+
+// Run drains the event queue.
+func (a *AnalyticNet) Run() {
+	for a.outstanding > 0 {
+		if !a.eng.Step() {
+			panic("mpi: analytic network stalled with outstanding sends")
+		}
+	}
+}
+
+// SimNetwork executes transfers as flows on the flow-level simulator, so
+// concurrent tree edges and background traffic contend for link capacity —
+// the execution mode of the paper's ns-2 experiments.
+type SimNetwork struct {
+	Sim         *simnet.Sim
+	Hosts       []int // rank -> server node
+	outstanding int
+}
+
+// NewSimNetwork wraps a simulator and a rank-to-server mapping.
+func NewSimNetwork(sim *simnet.Sim, hosts []int) *SimNetwork {
+	return &SimNetwork{Sim: sim, Hosts: hosts}
+}
+
+// Now returns the simulator clock.
+func (s *SimNetwork) Now() float64 { return s.Sim.Now() }
+
+// Send starts a flow between the ranks' hosts.
+func (s *SimNetwork) Send(src, dst int, bytes float64, done func(at float64)) {
+	if src == dst {
+		panic("mpi: send to self")
+	}
+	s.outstanding++
+	s.Sim.StartFlow(s.Hosts[src], s.Hosts[dst], bytes, func(at float64) {
+		s.outstanding--
+		if done != nil {
+			done(at)
+		}
+	})
+}
+
+// Run steps the simulator until all collective transfers complete.
+// Background flows keep the queue non-empty, so Run tracks its own
+// outstanding count rather than draining the engine.
+func (s *SimNetwork) Run() {
+	for s.outstanding > 0 {
+		if !s.Sim.Eng.Step() {
+			panic("mpi: simulated network stalled with outstanding sends")
+		}
+	}
+}

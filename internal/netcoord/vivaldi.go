@@ -1,0 +1,266 @@
+// Package netcoord implements the Vivaldi network coordinate system
+// (Dabek et al., the paper's reference [11]) and triangle-inequality
+// analysis. The paper dismisses coordinate approaches for IaaS clouds
+// because "the triangle condition is not satisfied" in data-center
+// networks (§IV-B); this package makes that argument executable: it can
+// embed a cluster's measured performance into coordinates, report the
+// achievable prediction accuracy, and quantify the triangle-inequality
+// violations that bound it.
+package netcoord
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netconstant/internal/mat"
+)
+
+// Config parameterizes the Vivaldi system. The zero value selects the
+// published defaults: 3 dimensions plus height, ce = cc = 0.25.
+type Config struct {
+	Dim    int
+	Ce     float64 // error-estimate sensitivity
+	Cc     float64 // coordinate timestep scale
+	Height bool    // set by default via applyDefaults
+	// NoHeight disables the height component (pure Euclidean embedding).
+	NoHeight bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Dim == 0 {
+		c.Dim = 3
+	}
+	if c.Ce == 0 {
+		c.Ce = 0.25
+	}
+	if c.Cc == 0 {
+		c.Cc = 0.25
+	}
+	c.Height = !c.NoHeight
+}
+
+// System embeds n nodes into a low-dimensional space with heights; the
+// predicted distance between two nodes is the Euclidean distance of their
+// coordinates plus both heights.
+type System struct {
+	cfg     Config
+	coords  [][]float64
+	heights []float64
+	errs    []float64 // relative error estimates, start at 1
+}
+
+// New creates a coordinate system for n nodes at the origin with unit
+// error estimates.
+func New(n int, cfg Config) *System {
+	cfg.applyDefaults()
+	s := &System{
+		cfg:     cfg,
+		coords:  make([][]float64, n),
+		heights: make([]float64, n),
+		errs:    make([]float64, n),
+	}
+	for i := range s.coords {
+		s.coords[i] = make([]float64, cfg.Dim)
+		s.errs[i] = 1
+	}
+	return s
+}
+
+// N returns the number of nodes.
+func (s *System) N() int { return len(s.coords) }
+
+// Predict returns the coordinate-space distance between nodes i and j.
+func (s *System) Predict(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	var d2 float64
+	for k := range s.coords[i] {
+		diff := s.coords[i][k] - s.coords[j][k]
+		d2 += diff * diff
+	}
+	d := math.Sqrt(d2)
+	if s.cfg.Height {
+		d += s.heights[i] + s.heights[j]
+	}
+	return d
+}
+
+// Update applies one Vivaldi sample: node i measured distance `rtt`
+// (any non-negative dissimilarity — latency, or a transfer-time weight)
+// to node j, and adjusts its own coordinate. Non-positive samples are
+// ignored.
+func (s *System) Update(i, j int, rtt float64, rng *rand.Rand) {
+	if i == j || rtt <= 0 {
+		return
+	}
+	pred := s.Predict(i, j)
+	// Sample weight balances local and remote error.
+	w := s.errs[i] / (s.errs[i] + s.errs[j])
+	es := math.Abs(pred-rtt) / rtt
+	// Update the error estimate with an exponential moving average.
+	s.errs[i] = es*s.cfg.Ce*w + s.errs[i]*(1-s.cfg.Ce*w)
+	if s.errs[i] > 2 {
+		s.errs[i] = 2
+	}
+
+	// Unit vector from j towards i; random direction when coincident.
+	dir := make([]float64, s.cfg.Dim)
+	var norm float64
+	for k := range dir {
+		dir[k] = s.coords[i][k] - s.coords[j][k]
+		norm += dir[k] * dir[k]
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		for k := range dir {
+			dir[k] = rng.NormFloat64()
+		}
+		norm = mat.VecNorm2(dir)
+		if norm == 0 {
+			return
+		}
+	}
+	for k := range dir {
+		dir[k] /= norm
+	}
+
+	delta := s.cfg.Cc * w
+	force := delta * (rtt - pred)
+	for k := range dir {
+		s.coords[i][k] += force * dir[k]
+	}
+	if s.cfg.Height {
+		s.heights[i] += force * 0.1
+		if s.heights[i] < 0 {
+			s.heights[i] = 0
+		}
+	}
+}
+
+// Train runs `samples` random-pair updates against the measure function
+// (symmetric sampling: both endpoints update).
+func (s *System) Train(rng *rand.Rand, samples int, measure func(i, j int) float64) {
+	n := s.N()
+	if n < 2 {
+		return
+	}
+	for t := 0; t < samples; t++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		d := measure(i, j)
+		s.Update(i, j, d, rng)
+		s.Update(j, i, d, rng)
+	}
+}
+
+// FitError reports the median and 90th-percentile relative prediction
+// error of the embedding against a full distance matrix (diagonal
+// ignored).
+func (s *System) FitError(truth *mat.Dense) (median, p90 float64) {
+	n := s.N()
+	var errsAll []float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || truth.At(i, j) <= 0 {
+				continue
+			}
+			e := math.Abs(s.Predict(i, j)-truth.At(i, j)) / truth.At(i, j)
+			errsAll = append(errsAll, e)
+		}
+	}
+	if len(errsAll) == 0 {
+		return 0, 0
+	}
+	sortFloats(errsAll)
+	return quantile(errsAll, 0.5), quantile(errsAll, 0.9)
+}
+
+// TriangleViolation describes one violated triple.
+type TriangleViolation struct {
+	I, J, K  int
+	Severity float64 // d(i,k) / (d(i,j)+d(j,k)) − 1, > 0
+}
+
+// TriangleStats summarizes triangle-inequality violations in a distance
+// matrix: for every ordered triple (i, j, k), the direct distance d(i,k)
+// should not exceed the detour d(i,j)+d(j,k). Rate is the violated
+// fraction; MeanSeverity averages the relative excess over violations;
+// Worst is the most severe violation.
+type TriangleStats struct {
+	Triples      int
+	Violations   int
+	Rate         float64
+	MeanSeverity float64
+	Worst        TriangleViolation
+}
+
+// AnalyzeTriangles scans all triples of a symmetric-or-not distance
+// matrix (diagonal ignored; non-positive entries skipped).
+func AnalyzeTriangles(d *mat.Dense) TriangleStats {
+	n := d.Rows()
+	if d.Cols() != n {
+		panic(fmt.Sprintf("netcoord: distance matrix must be square, got %dx%d", n, d.Cols()))
+	}
+	var st TriangleStats
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if k == i || k == j {
+					continue
+				}
+				direct := d.At(i, k)
+				detour := d.At(i, j) + d.At(j, k)
+				if direct <= 0 || detour <= 0 {
+					continue
+				}
+				st.Triples++
+				if direct > detour {
+					st.Violations++
+					sev := direct/detour - 1
+					st.MeanSeverity += sev
+					if sev > st.Worst.Severity {
+						st.Worst = TriangleViolation{I: i, J: j, K: k, Severity: sev}
+					}
+				}
+			}
+		}
+	}
+	if st.Violations > 0 {
+		st.MeanSeverity /= float64(st.Violations)
+	}
+	if st.Triples > 0 {
+		st.Rate = float64(st.Violations) / float64(st.Triples)
+	}
+	return st
+}
+
+func sortFloats(xs []float64) {
+	// insertion sort is fine for the modest slices used here, but use the
+	// stdlib for clarity.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

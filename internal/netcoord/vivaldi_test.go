@@ -1,0 +1,172 @@
+package netcoord
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netconstant/internal/cloud"
+	"netconstant/internal/mat"
+	"netconstant/internal/stats"
+	"netconstant/internal/topo"
+)
+
+// euclideanMatrix builds a perfectly embeddable distance matrix from
+// random points in the plane.
+func euclideanMatrix(rng *rand.Rand, n int) *mat.Dense {
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	d := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx := pts[i][0] - pts[j][0]
+			dy := pts[i][1] - pts[j][1]
+			d.Set(i, j, math.Sqrt(dx*dx+dy*dy)+1) // +1 avoids zero distances
+		}
+	}
+	return d
+}
+
+func TestVivaldiConvergesOnEuclideanInput(t *testing.T) {
+	rng := stats.NewRNG(1)
+	n := 12
+	d := euclideanMatrix(rng, n)
+	s := New(n, Config{})
+	s.Train(rng, 20000, func(i, j int) float64 { return d.At(i, j) })
+	median, p90 := s.FitError(d)
+	if median > 0.12 {
+		t.Errorf("median fit error %.3f on embeddable input", median)
+	}
+	if p90 > 0.4 {
+		t.Errorf("p90 fit error %.3f on embeddable input", p90)
+	}
+}
+
+func TestVivaldiBasics(t *testing.T) {
+	s := New(3, Config{})
+	if s.N() != 3 {
+		t.Fatal("N")
+	}
+	if s.Predict(1, 1) != 0 {
+		t.Error("self distance")
+	}
+	rng := stats.NewRNG(2)
+	// Ignored updates.
+	s.Update(0, 0, 5, rng)
+	s.Update(0, 1, -1, rng)
+	if s.Predict(0, 1) != 0 {
+		t.Error("no-op updates should leave origin coordinates")
+	}
+	// A real update moves node 0 away from node 1.
+	s.Update(0, 1, 10, rng)
+	if s.Predict(0, 1) == 0 {
+		t.Error("update should move the coordinate")
+	}
+	// Train with n < 2 is a no-op.
+	New(1, Config{}).Train(rng, 10, func(i, j int) float64 { return 1 })
+}
+
+func TestVivaldiNoHeight(t *testing.T) {
+	rng := stats.NewRNG(3)
+	s := New(4, Config{NoHeight: true})
+	s.Train(rng, 1000, func(i, j int) float64 { return 5 })
+	for _, h := range s.heights {
+		if h != 0 {
+			t.Error("heights should stay zero with NoHeight")
+		}
+	}
+}
+
+func TestAnalyzeTrianglesMetricSpace(t *testing.T) {
+	// A true metric space has zero violations.
+	rng := stats.NewRNG(4)
+	d := euclideanMatrix(rng, 10)
+	st := AnalyzeTriangles(d)
+	if st.Violations != 0 {
+		t.Errorf("euclidean matrix had %d violations", st.Violations)
+	}
+	if st.Triples != 10*9*8 {
+		t.Errorf("triples %d", st.Triples)
+	}
+}
+
+func TestAnalyzeTrianglesDetectsViolation(t *testing.T) {
+	d := mat.NewDense(3, 3)
+	d.Set(0, 1, 1)
+	d.Set(1, 0, 1)
+	d.Set(1, 2, 1)
+	d.Set(2, 1, 1)
+	d.Set(0, 2, 5) // 5 > 1+1: violation
+	d.Set(2, 0, 5)
+	st := AnalyzeTriangles(d)
+	if st.Violations == 0 {
+		t.Fatal("violation not detected")
+	}
+	if st.Worst.Severity < 1.4 {
+		t.Errorf("worst severity %.2f", st.Worst.Severity)
+	}
+	mustPanic(t, func() { AnalyzeTriangles(mat.NewDense(2, 3)) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+// TestCloudPerformanceViolatesTriangles executes the paper's §IV-B
+// argument: the transfer-time "distances" of a virtual cluster violate
+// the triangle inequality (because per-VM virtualization factors compose
+// multiplicatively), so coordinate embeddings cannot represent them.
+func TestCloudPerformanceViolatesTriangles(t *testing.T) {
+	p := cloud.NewProvider(cloud.ProviderConfig{
+		Tree: topo.TreeConfig{Racks: 8, ServersPerRack: 8},
+		Seed: 5,
+	})
+	vc, err := p.Provision(16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.SetFreezeDynamics(true)
+	w := vc.TruePerf().Weights(8 << 20)
+	st := AnalyzeTriangles(w)
+	if st.Rate < 0.02 {
+		t.Errorf("cloud transfer-time matrix should violate triangles: rate %.4f", st.Rate)
+	}
+	if st.MeanSeverity <= 0 {
+		t.Error("violations should have positive severity")
+	}
+}
+
+// TestVivaldiUnderperformsOnCloudWeights shows why the paper rejects
+// coordinates: the embedding error on a virtual cluster's transfer-time
+// matrix stays far above what direct calibration + RPCA achieves (a few
+// percent, see internal/core tests).
+func TestVivaldiUnderperformsOnCloudWeights(t *testing.T) {
+	p := cloud.NewProvider(cloud.ProviderConfig{
+		Tree: topo.TreeConfig{Racks: 8, ServersPerRack: 8},
+		Seed: 7,
+	})
+	vc, err := p.Provision(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.SetFreezeDynamics(true)
+	w := vc.TruePerf().Weights(8 << 20)
+	rng := stats.NewRNG(9)
+	s := New(16, Config{})
+	s.Train(rng, 30000, func(i, j int) float64 { return w.At(i, j) })
+	median, _ := s.FitError(w)
+	if median < 0.08 {
+		t.Errorf("unexpectedly good embedding (median %.3f) of a non-metric matrix", median)
+	}
+}

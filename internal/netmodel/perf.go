@@ -1,0 +1,349 @@
+// Package netmodel defines the network performance abstractions of the
+// paper (§III): the α-β link model, N×N performance matrices over a
+// virtual cluster, temporal performance matrices (TP-matrix) that stack
+// calibration snapshots as rows, and the noise-injection procedure used to
+// study the impact of Norm(N_E) (§V-D3).
+package netmodel
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"netconstant/internal/mat"
+)
+
+// Link is the α-β model of a directed machine pair: transfer time for n
+// bytes is Alpha + n/Beta.
+type Link struct {
+	Alpha float64 // latency in seconds
+	Beta  float64 // bandwidth in bytes per second
+}
+
+// TransferTime estimates the α-β transfer time for a message of n bytes.
+func (l Link) TransferTime(n float64) float64 {
+	if l.Beta <= 0 {
+		return math.Inf(1)
+	}
+	return l.Alpha + n/l.Beta
+}
+
+// PerfMatrix is a snapshot of all-link network performance of an N-VM
+// virtual cluster: two N×N matrices holding per-pair latency (seconds) and
+// bandwidth (bytes/second). The diagonal is zero-latency, infinite-speed
+// loopback by convention and is ignored by the optimizers.
+type PerfMatrix struct {
+	N       int
+	Latency *mat.Dense
+	Bandwth *mat.Dense
+}
+
+// NewPerfMatrix allocates a zeroed N×N performance snapshot.
+func NewPerfMatrix(n int) *PerfMatrix {
+	return &PerfMatrix{N: n, Latency: mat.NewDense(n, n), Bandwth: mat.NewDense(n, n)}
+}
+
+// Link returns the α-β parameters of the directed pair (i, j).
+func (p *PerfMatrix) Link(i, j int) Link {
+	return Link{Alpha: p.Latency.At(i, j), Beta: p.Bandwth.At(i, j)}
+}
+
+// SetLink assigns the α-β parameters of the directed pair (i, j).
+func (p *PerfMatrix) SetLink(i, j int, l Link) {
+	p.Latency.Set(i, j, l.Alpha)
+	p.Bandwth.Set(i, j, l.Beta)
+}
+
+// Weights converts the snapshot into a single N×N weight matrix of
+// estimated transfer times for a message of msgBytes — the input format of
+// the FNF and topology-mapping algorithms (a smaller weight means a better
+// link, paper Fig 1). Diagonal entries are zero.
+func (p *PerfMatrix) Weights(msgBytes float64) *mat.Dense {
+	w := mat.NewDense(p.N, p.N)
+	for i := 0; i < p.N; i++ {
+		for j := 0; j < p.N; j++ {
+			if i == j {
+				continue
+			}
+			w.Set(i, j, p.Link(i, j).TransferTime(msgBytes))
+		}
+	}
+	return w
+}
+
+// Clone returns a deep copy.
+func (p *PerfMatrix) Clone() *PerfMatrix {
+	return &PerfMatrix{N: p.N, Latency: p.Latency.Clone(), Bandwth: p.Bandwth.Clone()}
+}
+
+// Repair fills in missing measurements (non-positive or NaN cells) of a
+// performance snapshot in place: a broken directed cell first borrows the
+// reverse direction's value, and if both directions failed it falls back
+// to the median of the valid entries in its column (the "other senders to
+// this receiver" population). It returns how many cells were repaired.
+// Diagonal cells are ignored. Snapshots where an entire column failed keep
+// zero cells — callers should re-measure in that case.
+func (p *PerfMatrix) Repair() int {
+	repaired := 0
+	fix := func(m *mat.Dense) {
+		bad := func(v float64) bool { return !(v > 0) } // catches NaN too
+		colMedian := func(j int) float64 {
+			var vals []float64
+			for i := 0; i < p.N; i++ {
+				if i == j {
+					continue
+				}
+				if v := m.At(i, j); !bad(v) {
+					vals = append(vals, v)
+				}
+			}
+			if len(vals) == 0 {
+				return 0
+			}
+			sort.Float64s(vals)
+			if len(vals)%2 == 1 {
+				return vals[len(vals)/2]
+			}
+			return 0.5 * (vals[len(vals)/2-1] + vals[len(vals)/2])
+		}
+		for i := 0; i < p.N; i++ {
+			for j := 0; j < p.N; j++ {
+				if i == j || !bad(m.At(i, j)) {
+					continue
+				}
+				if rev := m.At(j, i); !bad(rev) {
+					m.Set(i, j, rev)
+					repaired++
+					continue
+				}
+				if med := colMedian(j); med > 0 {
+					m.Set(i, j, med)
+					repaired++
+				}
+			}
+		}
+	}
+	fix(p.Latency)
+	fix(p.Bandwth)
+	return repaired
+}
+
+// Vectorize lays out an N×N matrix into an N²-vector by row order, the
+// TP-matrix row format of paper §III.
+func Vectorize(m *mat.Dense) []float64 {
+	out := make([]float64, 0, m.Rows()*m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		out = append(out, m.Row(i)...)
+	}
+	return out
+}
+
+// Devectorize rebuilds an n×n matrix from its row-order vectorization.
+func Devectorize(v []float64, n int) *mat.Dense {
+	if len(v) != n*n {
+		panic(fmt.Sprintf("netmodel: devectorize length %d != %d²", len(v), n))
+	}
+	m := mat.NewDense(n, n)
+	copy(m.Data(), v)
+	return m
+}
+
+// TPMatrix is a temporal performance matrix: each row is one vectorized
+// all-link snapshot, rows ordered by measurement time. The number of rows
+// is the paper's "time step" tuning parameter.
+type TPMatrix struct {
+	N     int       // cluster size; each row has N² entries
+	Times []float64 // measurement times (simulated seconds)
+	rows  [][]float64
+}
+
+// NewTPMatrix creates an empty TP-matrix for an N-VM cluster.
+func NewTPMatrix(n int) *TPMatrix {
+	return &TPMatrix{N: n}
+}
+
+// Append adds a snapshot taken at the given time. Rows must be appended in
+// non-decreasing time order.
+func (tp *TPMatrix) Append(t float64, snapshot *mat.Dense) {
+	if snapshot.Rows() != tp.N || snapshot.Cols() != tp.N {
+		panic("netmodel: snapshot dimension mismatch")
+	}
+	if len(tp.Times) > 0 && t < tp.Times[len(tp.Times)-1] {
+		panic("netmodel: snapshots must be appended in time order")
+	}
+	tp.Times = append(tp.Times, t)
+	tp.rows = append(tp.rows, Vectorize(snapshot))
+}
+
+// Steps returns the number of snapshots (rows).
+func (tp *TPMatrix) Steps() int { return len(tp.rows) }
+
+// Snapshot reconstructs the i-th snapshot as an N×N matrix.
+func (tp *TPMatrix) Snapshot(i int) *mat.Dense {
+	return Devectorize(tp.rows[i], tp.N)
+}
+
+// Matrix returns the steps×N² dense matrix view (copied) — the data matrix
+// A handed to RPCA.
+func (tp *TPMatrix) Matrix() *mat.Dense {
+	m := mat.NewDense(len(tp.rows), tp.N*tp.N)
+	for i, row := range tp.rows {
+		copy(m.Row(i), row)
+	}
+	return m
+}
+
+// Head returns a new TP-matrix containing only the first k rows (a "time
+// step" prefix used by the Fig 5 sweep). k larger than Steps() is clamped.
+func (tp *TPMatrix) Head(k int) *TPMatrix {
+	if k > len(tp.rows) {
+		k = len(tp.rows)
+	}
+	out := NewTPMatrix(tp.N)
+	for i := 0; i < k; i++ {
+		out.Times = append(out.Times, tp.Times[i])
+		out.rows = append(out.rows, append([]float64(nil), tp.rows[i]...))
+	}
+	return out
+}
+
+// Window returns the rows with Times in [t0, t1] as a new TP-matrix.
+func (tp *TPMatrix) Window(t0, t1 float64) *TPMatrix {
+	out := NewTPMatrix(tp.N)
+	for i, tm := range tp.Times {
+		if tm >= t0 && tm <= t1 {
+			out.Times = append(out.Times, tm)
+			out.rows = append(out.rows, append([]float64(nil), tp.rows[i]...))
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the TP-matrix.
+func (tp *TPMatrix) Clone() *TPMatrix {
+	out := NewTPMatrix(tp.N)
+	out.Times = append(out.Times, tp.Times...)
+	for _, r := range tp.rows {
+		out.rows = append(out.rows, append([]float64(nil), r...))
+	}
+	return out
+}
+
+// gobTP mirrors TPMatrix for encoding (unexported fields are not encoded
+// by gob directly).
+type gobTP struct {
+	N     int
+	Times []float64
+	Rows  [][]float64
+}
+
+// Encode serializes the TP-matrix with encoding/gob.
+func (tp *TPMatrix) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(gobTP{N: tp.N, Times: tp.Times, Rows: tp.rows})
+}
+
+// DecodeTPMatrix reads a TP-matrix previously written by Encode.
+func DecodeTPMatrix(r io.Reader) (*TPMatrix, error) {
+	var g gobTP
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, err
+	}
+	if len(g.Times) != len(g.Rows) {
+		return nil, errors.New("netmodel: corrupt TP-matrix: times/rows mismatch")
+	}
+	for _, row := range g.Rows {
+		if len(row) != g.N*g.N {
+			return nil, errors.New("netmodel: corrupt TP-matrix: row length mismatch")
+		}
+	}
+	return &TPMatrix{N: g.N, Times: g.Times, rows: g.Rows}, nil
+}
+
+// WriteCSV writes a snapshot matrix as CSV (one row per line).
+func WriteCSV(w io.Writer, m *mat.Dense) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			rec[j] = strconv.FormatFloat(m.At(i, j), 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dense matrix from CSV.
+func ReadCSV(r io.Reader) (*mat.Dense, error) {
+	recs, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return mat.NewDense(0, 0), nil
+	}
+	rows := make([][]float64, len(recs))
+	for i, rec := range recs {
+		rows[i] = make([]float64, len(rec))
+		for j, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("netmodel: bad CSV cell (%d,%d): %w", i, j, err)
+			}
+			rows[i][j] = v
+		}
+	}
+	return mat.FromRows(rows), nil
+}
+
+// RoundTripBytes is a convenience helper that encodes and re-decodes a
+// TP-matrix through memory, used in tests and the trace tooling.
+func RoundTripBytes(tp *TPMatrix) (*TPMatrix, error) {
+	var buf bytes.Buffer
+	if err := tp.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return DecodeTPMatrix(&buf)
+}
+
+// InjectNoiseStep applies one batch of the paper's noise procedure to the
+// TP-matrix in place: each selected cell is increased or decreased by 1%
+// (§V-D3, "for each time of adding noise, we change the network
+// performance by 1%"). cells gives how many random cells to perturb.
+func (tp *TPMatrix) InjectNoiseStep(rng *rand.Rand, cells int) {
+	if len(tp.rows) == 0 {
+		return
+	}
+	width := tp.N * tp.N
+	for k := 0; k < cells; k++ {
+		i := rng.Intn(len(tp.rows))
+		j := rng.Intn(width)
+		if rng.Float64() < 0.5 {
+			tp.rows[i][j] *= 1.01
+		} else {
+			tp.rows[i][j] *= 0.99
+		}
+	}
+}
+
+// InjectSpikes adds sparse multiplicative spikes (factor amp, probability
+// density per cell) — a faster way to reach high Norm(N_E) targets than
+// repeated 1% steps, used by the Fig 10 sweep's upper range.
+func (tp *TPMatrix) InjectSpikes(rng *rand.Rand, density, amp float64) {
+	for _, row := range tp.rows {
+		for j := range row {
+			if rng.Float64() < density {
+				row[j] *= 1 + amp*rng.Float64()
+			}
+		}
+	}
+}

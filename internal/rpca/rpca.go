@@ -1,0 +1,149 @@
+// Package rpca implements Robust Principal Component Analysis by the
+// Accelerated Proximal Gradient (APG) method with continuation — the
+// algorithm family the paper adopts from Ji & Ye (its released sample code
+// is the "RPCA via APG" implementation the paper cites in [35]).
+//
+// RPCA decomposes a data matrix A into a low-rank component D and a sparse
+// component E by solving the convex relaxation
+//
+//	minimize   ‖D‖* + λ‖E‖₁   subject to   A = D + E
+//
+// which APG attacks through the sequence of smooth subproblems
+//
+//	minimize   μ‖D‖* + μλ‖E‖₁ + ½‖A − D − E‖F²
+//
+// with μ decreased geometrically (continuation) and Nesterov momentum on
+// the (D, E) pair. Each iteration applies singular value thresholding to
+// the low-rank block and soft thresholding to the sparse block.
+//
+// In this repository A is a temporal performance matrix (one row per
+// all-link calibration of a virtual cluster), D captures the constant
+// component of the network performance, and E the dynamic error (paper
+// §III–IV).
+package rpca
+
+import (
+	"errors"
+	"math"
+
+	"netconstant/internal/mat"
+)
+
+// Options configures the APG solver. The zero value selects the standard
+// parameters from the literature: λ = 1/√max(r,c), μ₀ = 0.99‖A‖₂,
+// μ̄ = 10⁻⁹μ₀, η = 0.9, tol = 10⁻⁷, 500 iterations max.
+type Options struct {
+	Lambda  float64 // sparsity weight; 0 selects 1/sqrt(max dim)
+	Mu0     float64 // initial continuation parameter; 0 selects 0.99·‖A‖₂
+	MuBar   float64 // final continuation parameter; 0 selects 1e-9·μ₀
+	Eta     float64 // continuation decay in (0,1); 0 selects 0.9
+	Tol     float64 // relative convergence tolerance; 0 selects 1e-7
+	MaxIter int     // iteration cap; 0 selects 500
+}
+
+// Result is an RPCA decomposition A = D + E.
+type Result struct {
+	D          *mat.Dense // low-rank (constant) component
+	E          *mat.Dense // sparse (error) component
+	Iterations int
+	Converged  bool
+	RankD      int // numerical rank of D after the final SVT
+}
+
+// Decompose runs APG RPCA on a. The input is not modified.
+func Decompose(a *mat.Dense, opts Options) (*Result, error) {
+	r, c := a.Dims()
+	if r == 0 || c == 0 {
+		return nil, errors.New("rpca: empty matrix")
+	}
+	lambda := opts.Lambda
+	if lambda <= 0 {
+		lambda = 1 / math.Sqrt(float64(max(r, c)))
+	}
+	mu := opts.Mu0
+	if mu <= 0 {
+		mu = 0.99 * a.NormSpectral()
+		if mu == 0 {
+			// A is the zero matrix: D = E = 0 is exact.
+			return &Result{D: mat.NewDense(r, c), E: mat.NewDense(r, c), Converged: true}, nil
+		}
+	}
+	muBar := opts.MuBar
+	if muBar <= 0 {
+		muBar = 1e-9 * mu
+	}
+	eta := opts.Eta
+	if eta <= 0 || eta >= 1 {
+		eta = 0.9
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 500
+	}
+
+	normA := a.NormFrobenius()
+	d := mat.NewDense(r, c)
+	e := mat.NewDense(r, c)
+	dPrev := mat.NewDense(r, c)
+	ePrev := mat.NewDense(r, c)
+	t, tPrev := 1.0, 1.0
+
+	res := &Result{}
+	for k := 0; k < maxIter; k++ {
+		// Momentum extrapolation Y = X_k + ((t_{k-1}-1)/t_k)(X_k - X_{k-1}).
+		beta := (tPrev - 1) / t
+		yd := momentum(d, dPrev, beta)
+		ye := momentum(e, ePrev, beta)
+
+		// Gradient of ½‖A − D − E‖F² w.r.t. (D, E) is (D+E−A, D+E−A);
+		// with Lipschitz constant 2 the step is −½·grad.
+		g := yd.Add(ye)
+		g.SubInPlace(a) // g = Y_D + Y_E − A
+
+		gd := yd.Sub(g.Scale(0.5))
+		dNext, rank := gd.SVT(mu / 2)
+
+		ge := ye.Sub(g.Scale(0.5))
+		eNext := ge.SoftThreshold(lambda * mu / 2)
+
+		// Convergence: relative change of the iterate pair.
+		num := dNext.Sub(d).NormFrobenius() + eNext.Sub(e).NormFrobenius()
+		den := math.Max(1, normA)
+
+		dPrev, d = d, dNext
+		ePrev, e = e, eNext
+		tPrev, t = t, (1+math.Sqrt(1+4*t*t))/2
+		mu = math.Max(eta*mu, muBar)
+
+		res.Iterations = k + 1
+		res.RankD = rank
+		if num/den < tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.D = d
+	res.E = e
+	return res, nil
+}
+
+func momentum(cur, prev *mat.Dense, beta float64) *mat.Dense {
+	if beta == 0 {
+		return cur.Clone()
+	}
+	out := cur.Sub(prev)
+	out.ScaleInPlace(beta)
+	out.AddInPlace(cur)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

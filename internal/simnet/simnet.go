@@ -1,0 +1,330 @@
+// Package simnet is a deterministic flow-level network simulator — the
+// repository's substitute for the paper's ns-2 setup (§V-A). Flows are
+// routed over a topo.Topology; concurrently active flows share link
+// capacity by progressive-filling max-min fairness, recomputed on every
+// flow arrival and departure. Poisson background-traffic generators
+// reproduce the paper's interference model (message size + expected
+// waiting time λ), and measurement probes implement SKaMPI-style pingpong
+// calibration on top of the simulator.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netconstant/internal/des"
+	"netconstant/internal/stats"
+	"netconstant/internal/topo"
+)
+
+// Flow is an in-flight data transfer.
+type Flow struct {
+	ID       int64
+	Src, Dst int // server node IDs
+	Bytes    float64
+
+	path       []topo.LinkID
+	remaining  float64
+	rate       float64 // bytes/s currently allocated
+	lastUpdate float64
+	completion *des.Timer
+	done       func(at float64)
+	finished   bool
+	start      float64
+}
+
+// Finished reports whether the flow has completed.
+func (f *Flow) Finished() bool { return f.finished }
+
+// Start returns the simulated time the flow was submitted.
+func (f *Flow) Start() float64 { return f.start }
+
+// Sim is a flow-level network simulator over a fixed topology.
+type Sim struct {
+	Topo *topo.Topology
+	Eng  *des.Engine
+
+	nextID    int64
+	active    map[int64]*Flow
+	linkFlows map[topo.LinkID]map[int64]*Flow
+}
+
+// New creates a simulator for the given topology with its own event engine.
+func New(t *topo.Topology) *Sim {
+	return &Sim{
+		Topo:      t,
+		Eng:       des.NewEngine(),
+		active:    make(map[int64]*Flow),
+		linkFlows: make(map[topo.LinkID]map[int64]*Flow),
+	}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() float64 { return s.Eng.Now() }
+
+// StartFlow submits a transfer of the given size between two server nodes.
+// done (optional) fires when the last byte is delivered. The model charges
+// the path propagation latency up front, then drains the flow at its
+// max-min fair share of the path bandwidth.
+func (s *Sim) StartFlow(src, dst int, bytes float64, done func(at float64)) *Flow {
+	if src == dst {
+		panic("simnet: flow to self")
+	}
+	if bytes < 0 {
+		panic("simnet: negative flow size")
+	}
+	path := s.Topo.Route(src, dst)
+	f := &Flow{
+		ID:    s.nextID,
+		Src:   src,
+		Dst:   dst,
+		Bytes: bytes,
+		path:  path,
+		done:  done,
+		start: s.Now(),
+	}
+	s.nextID++
+	latency := s.Topo.PathLatency(path)
+	if bytes == 0 {
+		s.Eng.After(latency, func() { s.finish(f) })
+		return f
+	}
+	f.remaining = bytes
+	s.Eng.After(latency, func() { s.activate(f) })
+	return f
+}
+
+func (s *Sim) activate(f *Flow) {
+	f.lastUpdate = s.Now()
+	s.active[f.ID] = f
+	for _, l := range f.path {
+		m := s.linkFlows[l]
+		if m == nil {
+			m = make(map[int64]*Flow)
+			s.linkFlows[l] = m
+		}
+		m[f.ID] = f
+	}
+	s.recompute()
+}
+
+func (s *Sim) finish(f *Flow) {
+	f.finished = true
+	if f.done != nil {
+		f.done(s.Now())
+	}
+}
+
+func (s *Sim) complete(f *Flow) {
+	delete(s.active, f.ID)
+	for _, l := range f.path {
+		delete(s.linkFlows[l], f.ID)
+	}
+	f.rate = 0
+	f.remaining = 0
+	s.finish(f)
+	s.recompute()
+}
+
+// recompute performs progressive-filling max-min fair allocation over all
+// active flows, then reschedules their completion events.
+func (s *Sim) recompute() {
+	now := s.Now()
+	// Drain progress accrued under the previous allocation.
+	for _, f := range s.active {
+		f.remaining -= f.rate * (now - f.lastUpdate)
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+		f.lastUpdate = now
+	}
+
+	// Progressive filling.
+	type linkState struct {
+		capLeft float64
+		flows   map[int64]*Flow
+		nUnfix  int
+	}
+	links := make(map[topo.LinkID]*linkState, len(s.linkFlows))
+	for id, flows := range s.linkFlows {
+		if len(flows) == 0 {
+			continue
+		}
+		links[id] = &linkState{
+			capLeft: s.Topo.Link(id).Capacity,
+			flows:   flows,
+			nUnfix:  len(flows),
+		}
+	}
+	unfixed := make(map[int64]*Flow, len(s.active))
+	for id, f := range s.active {
+		unfixed[id] = f
+		f.rate = 0
+	}
+	for len(unfixed) > 0 {
+		// Find the bottleneck link: the minimum fair share among links that
+		// still carry unfixed flows.
+		bottleneck := topo.LinkID(-1)
+		minShare := math.Inf(1)
+		for id, ls := range links {
+			if ls.nUnfix == 0 {
+				continue
+			}
+			share := ls.capLeft / float64(ls.nUnfix)
+			if share < minShare {
+				minShare = share
+				bottleneck = id
+			}
+		}
+		if bottleneck < 0 {
+			// No capacitated links left (cannot happen: every flow crosses
+			// at least one link), but guard against an infinite loop.
+			for _, f := range unfixed {
+				f.rate = math.Inf(1)
+			}
+			break
+		}
+		// Fix every unfixed flow on the bottleneck at minShare.
+		for fid, f := range links[bottleneck].flows {
+			if _, ok := unfixed[fid]; !ok {
+				continue
+			}
+			f.rate = minShare
+			delete(unfixed, fid)
+			for _, l := range f.path {
+				ls := links[l]
+				ls.capLeft -= minShare
+				if ls.capLeft < 0 {
+					ls.capLeft = 0
+				}
+				ls.nUnfix--
+			}
+		}
+	}
+
+	// Reschedule completions under the new rates.
+	for _, f := range s.active {
+		if f.completion != nil {
+			f.completion.Cancel()
+			f.completion = nil
+		}
+		if f.rate <= 0 {
+			continue
+		}
+		eta := f.remaining / f.rate
+		ff := f
+		f.completion = s.Eng.After(eta, func() { s.complete(ff) })
+	}
+}
+
+// ActiveFlows returns the number of currently draining flows.
+func (s *Sim) ActiveFlows() int { return len(s.active) }
+
+// RunUntilDone advances the simulation until the given flow completes.
+// It panics if the event queue drains first (a stalled flow would
+// otherwise hang silently).
+func (s *Sim) RunUntilDone(f *Flow) {
+	for !f.finished {
+		if !s.Eng.Step() {
+			panic(fmt.Sprintf("simnet: event queue drained before flow %d completed", f.ID))
+		}
+	}
+}
+
+// Transfer synchronously sends bytes from src to dst and returns the
+// elapsed simulated time. Background flows continue to progress and
+// interfere during the transfer.
+func (s *Sim) Transfer(src, dst int, bytes float64) float64 {
+	start := s.Now()
+	f := s.StartFlow(src, dst, bytes, nil)
+	s.RunUntilDone(f)
+	return s.Now() - start
+}
+
+// Pingpong measures round-trip style calibration like SKaMPI's
+// Pingpong_Send_Recv (paper §IV-B): the latency estimate is the elapsed
+// time of a 1-byte message, the bandwidth estimate is bulkBytes divided by
+// the elapsed time of a bulk transfer (8 MB by default in the paper).
+func (s *Sim) Pingpong(src, dst int, bulkBytes float64) (alpha, beta float64) {
+	alpha = s.Transfer(src, dst, 1)
+	elapsed := s.Transfer(src, dst, bulkBytes)
+	data := elapsed - alpha // subtract the latency component of the α-β model
+	if data <= 0 {
+		data = elapsed
+	}
+	beta = bulkBytes / data
+	return alpha, beta
+}
+
+// Background is a handle to a Poisson background-traffic source.
+type Background struct {
+	stopped bool
+}
+
+// Stop halts the source after its current message (if any) completes.
+func (b *Background) Stop() { b.stopped = true }
+
+// AddBackground installs a background-traffic source on a fixed (src, dst)
+// pair: it repeatedly waits an exponential time with mean lambda seconds
+// (the paper's "waiting time satisfies Poisson distribution with expected
+// value λ") and then sends msgBytes. The source runs until stopped.
+func (s *Sim) AddBackground(rng *rand.Rand, src, dst int, msgBytes, lambda float64) *Background {
+	b := &Background{}
+	var loop func()
+	loop = func() {
+		if b.stopped {
+			return
+		}
+		wait := stats.Exponential(rng, lambda)
+		s.Eng.After(wait, func() {
+			if b.stopped {
+				return
+			}
+			s.StartFlow(src, dst, msgBytes, func(float64) { loop() })
+		})
+	}
+	loop()
+	return b
+}
+
+// CheckInvariants verifies the max-min allocation's feasibility and
+// work-conservation properties at the current instant:
+//   - feasibility: on every link, the allocated rates sum to at most the
+//     capacity (within tolerance);
+//   - positivity: every active flow has a positive rate;
+//   - work conservation: every active flow is bottlenecked somewhere — it
+//     crosses at least one link whose capacity is (nearly) fully used.
+//
+// It returns an error describing the first violation. Intended for tests.
+func (s *Sim) CheckInvariants() error {
+	const tol = 1e-6
+	used := make(map[topo.LinkID]float64)
+	for _, f := range s.active {
+		if f.rate <= 0 {
+			return fmt.Errorf("simnet: active flow %d has non-positive rate %v", f.ID, f.rate)
+		}
+		for _, l := range f.path {
+			used[l] += f.rate
+		}
+	}
+	for id, u := range used {
+		capac := s.Topo.Link(id).Capacity
+		if u > capac*(1+tol) {
+			return fmt.Errorf("simnet: link %d oversubscribed: %v > %v", id, u, capac)
+		}
+	}
+	for _, f := range s.active {
+		bottlenecked := false
+		for _, l := range f.path {
+			if used[l] >= s.Topo.Link(l).Capacity*(1-1e-3) {
+				bottlenecked = true
+				break
+			}
+		}
+		if !bottlenecked {
+			return fmt.Errorf("simnet: flow %d (rate %v) is not bottlenecked on any link", f.ID, f.rate)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+// Package topo models data-center network topologies: servers, switches,
+// capacitated links, and shortest-path routing. The paper's simulations
+// (§V-A) use a two-level tree — servers grouped into racks, rack switches
+// connected by a core switch — which NewTree builds; a k-ary fat tree is
+// provided as an extension for ablation studies.
+package topo
+
+import (
+	"fmt"
+)
+
+// NodeKind distinguishes servers from switches.
+type NodeKind int
+
+const (
+	// Server nodes host virtual machines and terminate flows.
+	Server NodeKind = iota
+	// Switch nodes only forward traffic.
+	Switch
+)
+
+// Node is a vertex of the data-center graph.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	Rack int // rack index for servers and rack switches; -1 for core
+}
+
+// LinkID identifies a (bidirectional) physical link.
+type LinkID int
+
+// Link is a capacitated bidirectional edge.
+type Link struct {
+	ID       LinkID
+	A, B     int     // endpoint node IDs
+	Capacity float64 // bytes per second, per direction
+	Latency  float64 // seconds, per traversal
+}
+
+// Topology is an undirected graph of nodes and capacitated links.
+type Topology struct {
+	nodes []Node
+	links []Link
+	adj   [][]adjEntry // node -> incident links
+}
+
+type adjEntry struct {
+	link LinkID
+	peer int
+}
+
+// New creates an empty topology.
+func New() *Topology { return &Topology{} }
+
+// AddNode appends a node and returns its ID.
+func (t *Topology) AddNode(kind NodeKind, rack int) int {
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, Node{ID: id, Kind: kind, Rack: rack})
+	t.adj = append(t.adj, nil)
+	return id
+}
+
+// AddLink connects nodes a and b with the given capacity (bytes/s) and
+// latency (s), returning the link ID.
+func (t *Topology) AddLink(a, b int, capacity, latency float64) LinkID {
+	if a < 0 || a >= len(t.nodes) || b < 0 || b >= len(t.nodes) {
+		panic(fmt.Sprintf("topo: link endpoints (%d,%d) out of range", a, b))
+	}
+	if a == b {
+		panic("topo: self link")
+	}
+	if capacity <= 0 {
+		panic("topo: non-positive capacity")
+	}
+	id := LinkID(len(t.links))
+	t.links = append(t.links, Link{ID: id, A: a, B: b, Capacity: capacity, Latency: latency})
+	t.adj[a] = append(t.adj[a], adjEntry{link: id, peer: b})
+	t.adj[b] = append(t.adj[b], adjEntry{link: id, peer: a})
+	return id
+}
+
+// NumNodes returns the node count.
+func (t *Topology) NumNodes() int { return len(t.nodes) }
+
+// NumLinks returns the link count.
+func (t *Topology) NumLinks() int { return len(t.links) }
+
+// Node returns node metadata.
+func (t *Topology) Node(id int) Node { return t.nodes[id] }
+
+// Link returns link metadata.
+func (t *Topology) Link(id LinkID) Link { return t.links[id] }
+
+// Servers returns the IDs of all server nodes in creation order.
+func (t *Topology) Servers() []int {
+	var out []int
+	for _, n := range t.nodes {
+		if n.Kind == Server {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Route returns the sequence of link IDs of a shortest (hop-count) path
+// from a to b, found by breadth-first search. On trees the path is unique.
+// It returns nil for a == b and panics if no path exists.
+func (t *Topology) Route(a, b int) []LinkID {
+	if a == b {
+		return nil
+	}
+	if a < 0 || a >= len(t.nodes) || b < 0 || b >= len(t.nodes) {
+		panic("topo: route endpoints out of range")
+	}
+	prev := make([]adjEntry, len(t.nodes))
+	seen := make([]bool, len(t.nodes))
+	seen[a] = true
+	queue := []int{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == b {
+			break
+		}
+		for _, e := range t.adj[cur] {
+			if !seen[e.peer] {
+				seen[e.peer] = true
+				prev[e.peer] = adjEntry{link: e.link, peer: cur}
+				queue = append(queue, e.peer)
+			}
+		}
+	}
+	if !seen[b] {
+		panic(fmt.Sprintf("topo: no path from %d to %d", a, b))
+	}
+	var rev []LinkID
+	for cur := b; cur != a; cur = prev[cur].peer {
+		rev = append(rev, prev[cur].link)
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathLatency sums the per-hop latency of a path.
+func (t *Topology) PathLatency(path []LinkID) float64 {
+	var s float64
+	for _, id := range path {
+		s += t.links[id].Latency
+	}
+	return s
+}
+
+// BottleneckCapacity returns the minimum capacity along a path, or +Inf
+// for the empty path.
+func (t *Topology) BottleneckCapacity(path []LinkID) float64 {
+	cap := infinity
+	for _, id := range path {
+		if c := t.links[id].Capacity; c < cap {
+			cap = c
+		}
+	}
+	return cap
+}
+
+const infinity = 1e308
+
+// SameRack reports whether two server nodes live in the same rack.
+func (t *Topology) SameRack(a, b int) bool {
+	return t.nodes[a].Rack >= 0 && t.nodes[a].Rack == t.nodes[b].Rack
+}
+
+// TreeConfig parameterizes NewTree. The zero value selects the paper's
+// simulation setup: 32 racks × 32 servers, 1 Gb/s intra-rack links and
+// 10 Gb/s rack-to-core links (§V-A), 50 µs per-hop latency.
+type TreeConfig struct {
+	Racks          int
+	ServersPerRack int
+	IntraRackBps   float64 // server <-> rack-switch capacity, bytes/s
+	InterRackBps   float64 // rack-switch <-> core capacity, bytes/s
+	HopLatency     float64 // seconds per link traversal
+}
+
+func (c *TreeConfig) applyDefaults() {
+	if c.Racks == 0 {
+		c.Racks = 32
+	}
+	if c.ServersPerRack == 0 {
+		c.ServersPerRack = 32
+	}
+	if c.IntraRackBps == 0 {
+		c.IntraRackBps = 1e9 / 8 // 1 Gb/s
+	}
+	if c.InterRackBps == 0 {
+		c.InterRackBps = 10e9 / 8 // 10 Gb/s
+	}
+	if c.HopLatency == 0 {
+		c.HopLatency = 50e-6
+	}
+}
+
+// NewTree builds the paper's two-level tree: each rack has a switch with
+// its servers attached; all rack switches attach to one core switch.
+func NewTree(cfg TreeConfig) *Topology {
+	cfg.applyDefaults()
+	t := New()
+	core := t.AddNode(Switch, -1)
+	for r := 0; r < cfg.Racks; r++ {
+		sw := t.AddNode(Switch, r)
+		t.AddLink(sw, core, cfg.InterRackBps, cfg.HopLatency)
+		for s := 0; s < cfg.ServersPerRack; s++ {
+			srv := t.AddNode(Server, r)
+			t.AddLink(srv, sw, cfg.IntraRackBps, cfg.HopLatency)
+		}
+	}
+	return t
+}
+
+// FatTreeConfig parameterizes NewFatTree. K must be even; the resulting
+// fabric has K pods, (K/2)² core switches, and K²·K/4 servers.
+type FatTreeConfig struct {
+	K          int     // pod arity (even)
+	LinkBps    float64 // uniform link capacity, bytes/s
+	HopLatency float64
+}
+
+// NewFatTree builds a k-ary fat-tree (Al-Fahres et al. style), provided as
+// an extension topology for ablation experiments. Note: Route uses BFS, so
+// with multiple equal-cost paths one deterministic path is selected.
+func NewFatTree(cfg FatTreeConfig) *Topology {
+	if cfg.K < 2 || cfg.K%2 != 0 {
+		panic("topo: fat tree arity must be even and >= 2")
+	}
+	if cfg.LinkBps == 0 {
+		cfg.LinkBps = 1e9 / 8
+	}
+	if cfg.HopLatency == 0 {
+		cfg.HopLatency = 50e-6
+	}
+	k := cfg.K
+	half := k / 2
+	t := New()
+
+	// Core switches: half*half of them.
+	cores := make([]int, half*half)
+	for i := range cores {
+		cores[i] = t.AddNode(Switch, -1)
+	}
+	for pod := 0; pod < k; pod++ {
+		aggs := make([]int, half)
+		edges := make([]int, half)
+		for i := 0; i < half; i++ {
+			aggs[i] = t.AddNode(Switch, pod)
+		}
+		for i := 0; i < half; i++ {
+			edges[i] = t.AddNode(Switch, pod)
+		}
+		// Aggregation i connects to cores [i*half, (i+1)*half).
+		for i, agg := range aggs {
+			for j := 0; j < half; j++ {
+				t.AddLink(agg, cores[i*half+j], cfg.LinkBps, cfg.HopLatency)
+			}
+			for _, e := range edges {
+				t.AddLink(agg, e, cfg.LinkBps, cfg.HopLatency)
+			}
+		}
+		// Each edge switch hosts half servers.
+		for _, e := range edges {
+			for s := 0; s < half; s++ {
+				srv := t.AddNode(Server, pod)
+				t.AddLink(srv, e, cfg.LinkBps, cfg.HopLatency)
+			}
+		}
+	}
+	return t
+}

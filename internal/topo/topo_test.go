@@ -1,0 +1,172 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddNodesAndLinks(t *testing.T) {
+	g := New()
+	a := g.AddNode(Server, 0)
+	b := g.AddNode(Switch, 0)
+	id := g.AddLink(a, b, 100, 0.001)
+	if g.NumNodes() != 2 || g.NumLinks() != 1 {
+		t.Fatal("counts")
+	}
+	l := g.Link(id)
+	if l.A != a || l.B != b || l.Capacity != 100 || l.Latency != 0.001 {
+		t.Error("link metadata")
+	}
+	if g.Node(a).Kind != Server || g.Node(b).Kind != Switch {
+		t.Error("node kinds")
+	}
+}
+
+func TestAddLinkPanics(t *testing.T) {
+	g := New()
+	a := g.AddNode(Server, 0)
+	b := g.AddNode(Server, 0)
+	mustPanic(t, func() { g.AddLink(a, 99, 1, 0) })
+	mustPanic(t, func() { g.AddLink(a, a, 1, 0) })
+	mustPanic(t, func() { g.AddLink(a, b, 0, 0) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestRouteSameNode(t *testing.T) {
+	g := New()
+	a := g.AddNode(Server, 0)
+	if g.Route(a, a) != nil {
+		t.Error("route to self should be nil")
+	}
+}
+
+func TestRouteNoPath(t *testing.T) {
+	g := New()
+	a := g.AddNode(Server, 0)
+	b := g.AddNode(Server, 1)
+	mustPanic(t, func() { g.Route(a, b) })
+	mustPanic(t, func() { g.Route(-1, a) })
+	_ = b
+}
+
+func TestTreeDefaults(t *testing.T) {
+	tr := NewTree(TreeConfig{})
+	// 1 core + 32 rack switches + 1024 servers.
+	if tr.NumNodes() != 1+32+1024 {
+		t.Fatalf("nodes %d", tr.NumNodes())
+	}
+	if len(tr.Servers()) != 1024 {
+		t.Fatalf("servers %d", len(tr.Servers()))
+	}
+	// 32 uplinks + 1024 server links.
+	if tr.NumLinks() != 32+1024 {
+		t.Fatalf("links %d", tr.NumLinks())
+	}
+}
+
+func TestTreeRouting(t *testing.T) {
+	tr := NewTree(TreeConfig{Racks: 2, ServersPerRack: 2, IntraRackBps: 100, InterRackBps: 1000, HopLatency: 0.01})
+	srv := tr.Servers()
+	// Same-rack path: server -> rack switch -> server = 2 links.
+	p := tr.Route(srv[0], srv[1])
+	if len(p) != 2 {
+		t.Errorf("same-rack path length %d", len(p))
+	}
+	if !tr.SameRack(srv[0], srv[1]) {
+		t.Error("same rack")
+	}
+	// Cross-rack: server -> rack -> core -> rack -> server = 4 links.
+	p2 := tr.Route(srv[0], srv[2])
+	if len(p2) != 4 {
+		t.Errorf("cross-rack path length %d", len(p2))
+	}
+	if tr.SameRack(srv[0], srv[2]) {
+		t.Error("cross rack")
+	}
+	// Latency: 4 hops × 0.01.
+	if got := tr.PathLatency(p2); got != 0.04 {
+		t.Errorf("path latency %v", got)
+	}
+	// Bottleneck: server links are 100.
+	if got := tr.BottleneckCapacity(p2); got != 100 {
+		t.Errorf("bottleneck %v", got)
+	}
+	if tr.BottleneckCapacity(nil) < 1e300 {
+		t.Error("empty path bottleneck should be huge")
+	}
+}
+
+func TestRoutePathValidity(t *testing.T) {
+	// Every consecutive pair of links on a route must share a node and the
+	// route must start at src and end at dst.
+	tr := NewTree(TreeConfig{Racks: 4, ServersPerRack: 4})
+	srv := tr.Servers()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := srv[rng.Intn(len(srv))]
+		b := srv[rng.Intn(len(srv))]
+		if a == b {
+			return true
+		}
+		path := tr.Route(a, b)
+		cur := a
+		for _, id := range path {
+			l := tr.Link(id)
+			switch cur {
+			case l.A:
+				cur = l.B
+			case l.B:
+				cur = l.A
+			default:
+				return false
+			}
+		}
+		return cur == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFatTree(t *testing.T) {
+	ft := NewFatTree(FatTreeConfig{K: 4})
+	// k=4: 16 servers, 4 cores, 8 agg, 8 edge.
+	if len(ft.Servers()) != 16 {
+		t.Fatalf("servers %d", len(ft.Servers()))
+	}
+	srv := ft.Servers()
+	// Any two servers must be connected.
+	p := ft.Route(srv[0], srv[15])
+	if len(p) == 0 {
+		t.Fatal("no fat-tree route")
+	}
+	// Same-edge servers: 2 hops.
+	if got := len(ft.Route(srv[0], srv[1])); got != 2 {
+		t.Errorf("same-edge path %d", got)
+	}
+	mustPanic(t, func() { NewFatTree(FatTreeConfig{K: 3}) })
+	mustPanic(t, func() { NewFatTree(FatTreeConfig{K: 0}) })
+}
+
+func TestTreeRackAssignment(t *testing.T) {
+	tr := NewTree(TreeConfig{Racks: 3, ServersPerRack: 2})
+	counts := map[int]int{}
+	for _, s := range tr.Servers() {
+		counts[tr.Node(s).Rack]++
+	}
+	for r := 0; r < 3; r++ {
+		if counts[r] != 2 {
+			t.Errorf("rack %d has %d servers", r, counts[r])
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package workflow implements network-aware scheduling of scientific
+// workflows — the paper's other named future-work direction ("evaluate our
+// approach with more complicated workloads such as scientific workflows",
+// §VI). A workflow is a DAG of tasks with compute costs and inter-task
+// data volumes; tasks are assigned to VMs by a HEFT-style list scheduler
+// whose communication-cost estimates come from a pluggable performance
+// matrix — the RPCA constant component, a direct-measurement heuristic, or
+// nothing (uniform assumption) — and the resulting schedule's makespan is
+// evaluated against the network a run actually experiences.
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"netconstant/internal/netmodel"
+	"netconstant/internal/stats"
+)
+
+// Task is one node of the workflow DAG.
+type Task struct {
+	ID      int
+	Flops   float64 // compute demand
+	Parents []int   // dependencies (data-flow edges point parent -> task)
+}
+
+// DAG is a workflow: tasks in topological ID order with data volumes on
+// edges.
+type DAG struct {
+	Tasks []Task
+	// Data[parent][child] = bytes transferred parent -> child (0 if no
+	// edge). Stored sparsely.
+	Data map[[2]int]float64
+}
+
+// Validate checks the DAG is well-formed: parent IDs precede children
+// (IDs are topological), edges match the parent lists.
+func (d *DAG) Validate() error {
+	for _, t := range d.Tasks {
+		for _, p := range t.Parents {
+			if p < 0 || p >= t.ID {
+				return fmt.Errorf("workflow: task %d has invalid parent %d", t.ID, p)
+			}
+		}
+	}
+	for e := range d.Data {
+		if e[0] >= e[1] {
+			return fmt.Errorf("workflow: edge %v not topological", e)
+		}
+	}
+	return nil
+}
+
+// Volume returns the data volume on edge (p, c).
+func (d *DAG) Volume(p, c int) float64 { return d.Data[[2]int{p, c}] }
+
+// RandomDAG generates a layered scientific-workflow-like DAG: `layers`
+// levels with `width` tasks each; every task depends on 1–3 tasks of the
+// previous layer with data volumes in [minVol, maxVol] and compute demand
+// in [minFlops, maxFlops].
+func RandomDAG(rng *rand.Rand, layers, width int, minVol, maxVol, minFlops, maxFlops float64) *DAG {
+	d := &DAG{Data: map[[2]int]float64{}}
+	id := 0
+	prev := []int{}
+	for l := 0; l < layers; l++ {
+		var cur []int
+		for w := 0; w < width; w++ {
+			t := Task{ID: id, Flops: stats.Uniform(rng, minFlops, maxFlops)}
+			if len(prev) > 0 {
+				deps := 1 + rng.Intn(3)
+				if deps > len(prev) {
+					deps = len(prev)
+				}
+				for _, k := range stats.SampleWithoutReplacement(rng, len(prev), deps) {
+					p := prev[k]
+					t.Parents = append(t.Parents, p)
+					d.Data[[2]int{p, t.ID}] = stats.Uniform(rng, minVol, maxVol)
+				}
+				sort.Ints(t.Parents)
+			}
+			d.Tasks = append(d.Tasks, t)
+			cur = append(cur, id)
+			id++
+		}
+		prev = cur
+	}
+	return d
+}
+
+// Schedule maps every task to a VM with a start time.
+type Schedule struct {
+	VMOf     []int
+	Start    []float64
+	Finish   []float64
+	Makespan float64
+}
+
+// Estimator supplies the communication-cost estimates the scheduler plans
+// with; nil means "assume the network is uniform and free" (the blind
+// baseline).
+type Estimator = *netmodel.PerfMatrix
+
+// HEFT performs list scheduling in upward-rank order: each task goes to
+// the VM minimizing its earliest finish time, with communication costs
+// charged from the estimator when producer and consumer land on different
+// VMs. flopRate is per-VM compute speed. Returns the planned schedule
+// (against estimated costs).
+func HEFT(d *DAG, vms int, flopRate float64, est Estimator) (*Schedule, error) {
+	if vms <= 0 || flopRate <= 0 {
+		return nil, errors.New("workflow: need positive vms and flopRate")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(d.Tasks)
+	commEst := func(p, c, vmP, vmC int) float64 {
+		if vmP == vmC {
+			return 0
+		}
+		vol := d.Volume(p, c)
+		if vol == 0 {
+			return 0
+		}
+		if est == nil {
+			return 0 // the blind scheduler assumes communication is free
+		}
+		return est.Link(vmP, vmC).TransferTime(vol)
+	}
+
+	// Upward rank: critical-path-to-exit length using mean communication
+	// cost estimates.
+	meanComm := func(p, c int) float64 {
+		vol := d.Volume(p, c)
+		if vol == 0 || est == nil {
+			return 0
+		}
+		var sum float64
+		cnt := 0
+		for a := 0; a < est.N; a++ {
+			for b := 0; b < est.N; b++ {
+				if a != b {
+					sum += est.Link(a, b).TransferTime(vol)
+					cnt++
+				}
+			}
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return sum / float64(cnt)
+	}
+	children := make([][]int, n)
+	for e := range d.Data {
+		children[e[0]] = append(children[e[0]], e[1])
+	}
+	rank := make([]float64, n)
+	for id := n - 1; id >= 0; id-- {
+		best := 0.0
+		for _, c := range children[id] {
+			if v := meanComm(id, c) + rank[c]; v > best {
+				best = v
+			}
+		}
+		rank[id] = d.Tasks[id].Flops/flopRate + best
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rank[order[a]] > rank[order[b]] })
+
+	s := &Schedule{VMOf: make([]int, n), Start: make([]float64, n), Finish: make([]float64, n)}
+	for i := range s.VMOf {
+		s.VMOf[i] = -1
+	}
+	vmFree := make([]float64, vms)
+	for _, id := range order {
+		t := d.Tasks[id]
+		// Dependencies must already be placed (topological IDs + rank order
+		// guarantee parents have higher rank... not necessarily; enforce).
+		for _, p := range t.Parents {
+			if s.VMOf[p] == -1 {
+				return nil, fmt.Errorf("workflow: parent %d of task %d unscheduled (rank order broken)", p, id)
+			}
+		}
+		bestVM, bestFinish, bestStart := -1, math.Inf(1), 0.0
+		for vm := 0; vm < vms; vm++ {
+			ready := vmFree[vm]
+			for _, p := range t.Parents {
+				arr := s.Finish[p] + commEst(p, id, s.VMOf[p], vm)
+				if arr > ready {
+					ready = arr
+				}
+			}
+			finish := ready + t.Flops/flopRate
+			if finish < bestFinish {
+				bestVM, bestFinish, bestStart = vm, finish, ready
+			}
+		}
+		s.VMOf[id] = bestVM
+		s.Start[id] = bestStart
+		s.Finish[id] = bestFinish
+		vmFree[bestVM] = bestFinish
+		if bestFinish > s.Makespan {
+			s.Makespan = bestFinish
+		}
+	}
+	return s, nil
+}
+
+// RoundRobin is the baseline assignment: task i on VM i mod vms, executed
+// as early as dependencies allow.
+func RoundRobin(d *DAG, vms int) []int {
+	out := make([]int, len(d.Tasks))
+	for i := range out {
+		out[i] = i % vms
+	}
+	return out
+}
+
+// Evaluate computes the actual makespan of a fixed assignment against the
+// network performance a run experiences (actual), with per-VM serial
+// execution in topological order and communication charged on
+// cross-VM edges.
+func Evaluate(d *DAG, assign []int, vms int, flopRate float64, actual *netmodel.PerfMatrix) (float64, error) {
+	if len(assign) != len(d.Tasks) {
+		return 0, errors.New("workflow: assignment length mismatch")
+	}
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	finish := make([]float64, len(d.Tasks))
+	vmFree := make([]float64, vms)
+	var makespan float64
+	for _, t := range d.Tasks {
+		vm := assign[t.ID]
+		if vm < 0 || vm >= vms {
+			return 0, fmt.Errorf("workflow: task %d on invalid VM %d", t.ID, vm)
+		}
+		ready := vmFree[vm]
+		for _, p := range t.Parents {
+			arr := finish[p]
+			if pvm := assign[p]; pvm != vm {
+				arr += actual.Link(pvm, vm).TransferTime(d.Volume(p, t.ID))
+			}
+			if arr > ready {
+				ready = arr
+			}
+		}
+		finish[t.ID] = ready + t.Flops/flopRate
+		vmFree[vm] = finish[t.ID]
+		if finish[t.ID] > makespan {
+			makespan = finish[t.ID]
+		}
+	}
+	return makespan, nil
+}
