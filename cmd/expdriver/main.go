@@ -161,6 +161,13 @@ var figures = []figure{
 		}
 		return []*exp.Table{r.Table}, nil
 	}},
+	{"ext-resilience", "graceful degradation under injected faults", func(cfg exp.Config) ([]*exp.Table, error) {
+		r, err := exp.ExtResilience(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{r.Table}, nil
+	}},
 	{"accuracy", "trace-replay estimation accuracy (§V-D3)", func(cfg exp.Config) ([]*exp.Table, error) {
 		r, err := exp.AccuracyStudy(cfg)
 		if err != nil {

@@ -20,6 +20,7 @@ import (
 
 	"netconstant/internal/cloud"
 	"netconstant/internal/core"
+	"netconstant/internal/faults"
 	"netconstant/internal/mpi"
 	"netconstant/internal/netcoord"
 	"netconstant/internal/stats"
@@ -72,14 +73,60 @@ func runAdvise(args []string) {
 	steps := fs.Int("steps", 10, "time step (TP-matrix rows)")
 	msg := fs.Float64("msg", 8<<20, "message size in bytes for tree planning")
 	root := fs.Int("root", 0, "collective root rank")
+	probeLoss := fs.Float64("probe-loss", 0, "fault scenario: probability each probe is lost")
+	heavyTail := fs.Float64("heavy-tail", 0, "fault scenario: probability of a heavy-tailed slow probe")
+	stragglers := fs.Int("stragglers", 0, "fault scenario: number of persistently slow VMs")
+	blackoutRack := fs.Bool("blackout-rack", false, "fault scenario: black out the first VM's rack")
+	blackoutStart := fs.Float64("blackout-start", 0, "blackout start, seconds of cluster time")
+	blackoutDur := fs.Float64("blackout-dur", 300, "blackout duration, seconds")
+	churn := fs.Float64("churn", 0, "fault scenario: per-VM churn events per day")
 	fs.Parse(args)
 
-	_, vc := provision(*vms, *seed)
+	p, vc := provision(*vms, *seed)
 	rng := stats.NewRNG(*seed + 2)
-	adv := core.NewAdvisor(vc, rng, core.AdvisorConfig{TimeStep: *steps})
+
+	faulty := *probeLoss > 0 || *heavyTail > 0 || *stragglers > 0 || *blackoutRack || *churn > 0
+	var cluster cloud.Cluster = vc
+	var fc *faults.Cluster
+	cfg := core.AdvisorConfig{TimeStep: *steps}
+	if faulty {
+		sc := faults.Scenario{
+			Seed:          *seed + 3,
+			ProbeLoss:     *probeLoss,
+			HeavyTailProb: *heavyTail,
+			Stragglers:    *stragglers,
+			ChurnRate:     *churn,
+		}
+		if *blackoutRack {
+			rack := p.Topo.Node(vc.Hosts[0]).Rack
+			sc.Blackouts = []faults.Blackout{
+				faults.RackBlackout(p.Topo, vc.Hosts, rack, *blackoutStart, *blackoutDur),
+			}
+		}
+		fc = faults.Wrap(vc, sc)
+		cluster = fc
+		// Fault scenarios need the resilient calibration pipeline: retries,
+		// MAD screening, and honest missing-cell masking.
+		cfg.Calibration.Resilient = true
+	}
+
+	adv := core.NewAdvisor(cluster, rng, cfg)
 	fmt.Printf("calibrating %d x all-link measurements on %d VMs...\n", *steps, *vms)
 	if err := adv.Calibrate(); err != nil {
 		fail(err)
+	}
+	if fc != nil {
+		counts := fc.EventCounts()
+		fmt.Printf("fault events:")
+		for _, k := range []faults.EventKind{
+			faults.EventProbeLoss, faults.EventHeavyTail,
+			faults.EventBlackoutDrop, faults.EventChurnDrop,
+		} {
+			if counts[k] > 0 {
+				fmt.Printf(" %s=%d", k, counts[k])
+			}
+		}
+		fmt.Println()
 	}
 	report(adv, *msg, *root)
 }
@@ -87,6 +134,12 @@ func runAdvise(args []string) {
 func report(adv *core.Advisor, msg float64, root int) {
 	fmt.Printf("calibration cost: %.1f s of cluster time\n", adv.CalibrationCost())
 	fmt.Printf("Norm(N_E) = %.4f -> optimizations are %s\n", adv.NormE(), adv.Effectiveness())
+	h := adv.Health()
+	fmt.Printf("calibration health: coverage %.1f%%, mean quality %.2f, confidence %s\n",
+		100*h.Coverage, h.MeanQuality, h.Confidence)
+	if eff := adv.EffectiveStrategy(core.RPCA); eff != core.RPCA {
+		fmt.Printf("degraded mode: RPCA guidance falls back to %s\n", eff)
+	}
 	con := adv.Constant()
 	fmt.Println("\nconstant-component bandwidth (MB/s):")
 	n := con.N

@@ -39,6 +39,7 @@ import (
 
 	"netconstant/internal/cloud"
 	"netconstant/internal/core"
+	"netconstant/internal/faults"
 	"netconstant/internal/mpi"
 	"netconstant/internal/netmodel"
 	"netconstant/internal/rpca"
@@ -56,7 +57,34 @@ type (
 	Strategy = core.Strategy
 	// Effectiveness grades Norm(N_E).
 	Effectiveness = core.Effectiveness
+	// CalibrationHealth summarizes measurement quality (coverage, outlier
+	// rate, retry exhaustion) of a calibration.
+	CalibrationHealth = core.CalibrationHealth
+	// Confidence grades how much the advisor trusts its own guidance.
+	Confidence = core.Confidence
 )
+
+// Re-exported fault-injection types (see internal/faults).
+type (
+	// FaultScenario configures seeded fault injection for a wrapped
+	// cluster.
+	FaultScenario = faults.Scenario
+	// FaultCluster wraps any Cluster with the scenario's injectors.
+	FaultCluster = faults.Cluster
+	// Blackout is a timed outage of a set of VMs.
+	Blackout = faults.Blackout
+)
+
+// Confidence grades, re-exported.
+const (
+	ConfidenceNone    = core.ConfidenceNone
+	ConfidenceLow     = core.ConfidenceLow
+	ConfidenceReduced = core.ConfidenceReduced
+	ConfidenceHigh    = core.ConfidenceHigh
+)
+
+// WrapFaults wraps a cluster with a deterministic fault scenario.
+func WrapFaults(c Cluster, sc FaultScenario) *FaultCluster { return faults.Wrap(c, sc) }
 
 // Re-exported substrate types.
 type (

@@ -3,9 +3,20 @@ package cloud
 import (
 	"math"
 	"math/rand"
+	"sort"
 
+	"netconstant/internal/mat"
 	"netconstant/internal/netmodel"
 )
+
+// PairProber is an optional Cluster extension for substrates where a probe
+// can fail outright — timeout, blackout, VM churn — rather than always
+// return a value. The fault-injection layer (internal/faults) implements
+// it; clusters without it are treated as never failing on their own (the
+// legacy DropProb coin still applies).
+type PairProber interface {
+	ProbePair(i, j int) (netmodel.Link, error)
+}
 
 // CalibrationConfig tunes the all-link calibration procedure (paper §IV-B,
 // "Model calibration").
@@ -24,11 +35,36 @@ type CalibrationConfig struct {
 	// the N/2 concurrent transfers in paired mode.
 	InterferenceNoise float64
 	// DropProb injects measurement failures: each pair probe fails with
-	// this probability (timeout, packet loss). A failed probe is retried
-	// once; a pair that fails twice is left unmeasured and repaired from
-	// the reverse direction or column statistics after the pass
-	// (netmodel.PerfMatrix.Repair).
+	// this probability (timeout, packet loss). In legacy mode a failed
+	// probe is retried once; a pair that fails twice is left unmeasured
+	// and repaired from the reverse direction or column statistics after
+	// the pass (netmodel.PerfMatrix.Repair). In resilient mode the retry
+	// budget below applies instead.
 	DropProb float64
+
+	// Resilient enables the fault-tolerant measurement path: per-probe
+	// retry budgets with exponential backoff, optional repeated probes
+	// with MAD outlier rejection, a quality score per cell, and *honest*
+	// gaps — pairs that exhaust their budget are marked missing for masked
+	// decomposition instead of being silently repaired.
+	Resilient bool
+	// MaxRetries is the number of re-attempts after a failed probe
+	// (resilient mode; default 2).
+	MaxRetries int
+	// ProbeTimeout is the cluster time charged for each failed probe
+	// attempt, seconds (default 1).
+	ProbeTimeout float64
+	// RetryBackoff is the base of the exponential backoff slept (and
+	// charged to cluster time) before the k-th retry: RetryBackoff·2^(k−1)
+	// seconds (default 0.1).
+	RetryBackoff float64
+	// Repeats is how many times each pair is probed in resilient mode;
+	// with ≥3 repeats the per-pair estimate is the median of the repeats
+	// that survive MAD outlier rejection (default 1 — no repetition).
+	Repeats int
+	// MADCutoff is the modified-z-score threshold for rejecting a repeat
+	// as an outlier (default 3.5, the standard Iglewicz–Hoaglin value).
+	MADCutoff float64
 }
 
 func (c *CalibrationConfig) applyDefaults() {
@@ -41,6 +77,21 @@ func (c *CalibrationConfig) applyDefaults() {
 	if c.InterferenceNoise == 0 {
 		c.InterferenceNoise = 0.02
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 1
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 0.1
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 1
+	}
+	if c.MADCutoff == 0 {
+		c.MADCutoff = 3.5
+	}
 }
 
 // Calibration is the result of one all-link measurement pass.
@@ -48,13 +99,26 @@ type Calibration struct {
 	Perf   *netmodel.PerfMatrix
 	Cost   float64 // elapsed cluster time consumed, seconds
 	Rounds int
-	// Dropped counts probes that failed at least once; Failed counts pairs
-	// whose retry also failed (left for Repair); Repaired counts cells
-	// filled in afterwards.
+	// Dropped counts probe attempts that failed; Failed counts pairs whose
+	// whole budget failed (left missing / for Repair); Repaired counts
+	// cells filled in afterwards (legacy mode only).
 	Dropped  int
 	Failed   int
 	Repaired int
+
+	// Resilient-mode accounting.
+	Retries  int // re-attempts that were actually spent
+	Outliers int // probe repeats rejected by MAD screening
+	Missing  int // cells left unmeasured (masked, not repaired)
 }
+
+// Coverage returns the fraction of off-diagonal cells that hold a real
+// measurement.
+func (cal *Calibration) Coverage() float64 { return cal.Perf.Coverage() }
+
+// MeanQuality returns the average per-cell quality score (1 for legacy
+// calibrations without quality tracking).
+func (cal *Calibration) MeanQuality() float64 { return cal.Perf.MeanQuality() }
 
 // pingpongTime is the SKaMPI-style probe duration under the α-β model: a
 // 1-byte latency probe plus a bulk bandwidth probe.
@@ -100,30 +164,212 @@ func PairSchedule(n int) [][][2]int {
 	return rounds
 }
 
-// Calibrate performs one all-link calibration on the cluster, advancing
-// the cluster clock by the measurement cost as it goes, so that later
-// rounds observe later network conditions.
-func Calibrate(c Cluster, rng *rand.Rand, cfg CalibrationConfig) *Calibration {
-	cfg.applyDefaults()
-	n := c.Size()
-	perf := netmodel.NewPerfMatrix(n)
-	cal := &Calibration{Perf: perf}
-
-	measure := func(i, j int, interference bool) netmodel.Link {
-		if cfg.DropProb > 0 && rng.Float64() < cfg.DropProb {
-			cal.Dropped++
-			if rng.Float64() < cfg.DropProb { // retry also fails
-				cal.Failed++
-				return netmodel.Link{}
-			}
+// probeOnce runs a single probe attempt against the cluster, honouring the
+// DropProb coin and, when the cluster supports it, genuine probe failures.
+func probeOnce(c Cluster, rng *rand.Rand, cfg *CalibrationConfig, i, j int) (netmodel.Link, bool) {
+	if cfg.DropProb > 0 && rng.Float64() < cfg.DropProb {
+		return netmodel.Link{}, false
+	}
+	if pp, ok := c.(PairProber); ok {
+		l, err := pp.ProbePair(i, j)
+		if err != nil {
+			return netmodel.Link{}, false
 		}
-		l := c.PairPerf(i, j)
+		return l, true
+	}
+	return c.PairPerf(i, j), true
+}
+
+// madFilter returns the indices of samples surviving modified-z-score
+// screening: |0.6745·(x−median)/MAD| ≤ cutoff. With MAD = 0 (at least
+// half the samples identical) only exact-median samples survive a strict
+// screen, so it degrades to keeping everything.
+func madFilter(samples []float64, cutoff float64) []int {
+	if len(samples) < 3 {
+		idx := make([]int, len(samples))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	med := median(sorted)
+	dev := make([]float64, len(samples))
+	for i, v := range samples {
+		dev[i] = math.Abs(v - med)
+	}
+	devSorted := append([]float64(nil), dev...)
+	sort.Float64s(devSorted)
+	mad := median(devSorted)
+	if mad == 0 {
+		idx := make([]int, len(samples))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	var keep []int
+	for i := range samples {
+		if 0.6745*dev[i]/mad <= cutoff {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return 0.5 * (sorted[n/2-1] + sorted[n/2])
+}
+
+// pairProbe is the resilient measurement of one directed pair: up to
+// 1+MaxRetries attempts with exponential backoff, then (on success)
+// Repeats−1 further probes with MAD outlier rejection. It reports the
+// final link estimate, whether any measurement succeeded, the cluster
+// time consumed, and the quality score of the cell.
+func pairProbe(c Cluster, rng *rand.Rand, cfg *CalibrationConfig, cal *Calibration, i, j int, interference bool) (netmodel.Link, bool, float64, float64) {
+	elapsed := 0.0
+	attempt := func() (netmodel.Link, bool) {
+		l, ok := probeOnce(c, rng, cfg, i, j)
+		if !ok {
+			return netmodel.Link{}, false
+		}
 		if interference && cfg.InterferenceNoise > 0 {
 			f := clampPositive(1 + cfg.InterferenceNoise*rng.NormFloat64())
 			l.Beta *= f
 			l.Alpha /= f
 		}
-		return l
+		return l, true
+	}
+
+	var links []netmodel.Link
+	retriesUsed := 0
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		got := false
+		for try := 0; try <= cfg.MaxRetries; try++ {
+			if try > 0 {
+				// Backoff is slept on the cluster clock before the retry.
+				elapsed += cfg.RetryBackoff * math.Pow(2, float64(try-1))
+				retriesUsed++
+				cal.Retries++
+			}
+			l, ok := attempt()
+			if !ok {
+				cal.Dropped++
+				elapsed += cfg.ProbeTimeout
+				continue
+			}
+			if t := pingpongTime(l, cfg.BulkBytes); !math.IsInf(t, 1) && !math.IsNaN(t) {
+				elapsed += t
+			}
+			links = append(links, l)
+			got = true
+			break
+		}
+		if !got && rep == 0 {
+			// First repeat exhausted the budget: the pair is unmeasurable
+			// right now; further repeats would only burn more budget.
+			return netmodel.Link{}, false, elapsed, 0
+		}
+	}
+	if len(links) == 0 {
+		return netmodel.Link{}, false, elapsed, 0
+	}
+
+	// MAD screening on the bandwidth estimates; the median of the
+	// survivors is the cell value.
+	kept := links
+	if len(links) >= 3 {
+		betas := make([]float64, len(links))
+		for k, l := range links {
+			betas[k] = l.Beta
+		}
+		keep := madFilter(betas, cfg.MADCutoff)
+		cal.Outliers += len(links) - len(keep)
+		kept = kept[:0:0]
+		for _, k := range keep {
+			kept = append(kept, links[k])
+		}
+		if len(kept) == 0 {
+			kept = links // degenerate screen: keep everything
+		}
+	}
+	betas := make([]float64, len(kept))
+	alphas := make([]float64, len(kept))
+	for k, l := range kept {
+		betas[k], alphas[k] = l.Beta, l.Alpha
+	}
+	sort.Float64s(betas)
+	sort.Float64s(alphas)
+	link := netmodel.Link{Alpha: median(alphas), Beta: median(betas)}
+
+	// Quality: a clean full-agreement measurement scores 1; every retry
+	// and every rejected repeat erodes trust in the cell.
+	quality := 1.0
+	quality *= math.Pow(0.7, float64(retriesUsed))
+	quality *= float64(len(kept)) / float64(len(links))
+	return link, true, elapsed, quality
+}
+
+// Calibrate performs one all-link calibration on the cluster, advancing
+// the cluster clock by the measurement cost as it goes, so that later
+// rounds observe later network conditions.
+//
+// In resilient mode (cfg.Resilient) failed probes are retried within a
+// backoff budget, repeated probes are screened for outliers, every cell
+// carries a quality score, and pairs that stay unmeasurable are marked
+// missing rather than repaired — callers run masked RPCA over the gaps.
+func Calibrate(c Cluster, rng *rand.Rand, cfg CalibrationConfig) *Calibration {
+	cfg.applyDefaults()
+	n := c.Size()
+	perf := netmodel.NewPerfMatrix(n)
+	cal := &Calibration{Perf: perf}
+	if cfg.Resilient {
+		perf.EnsureQuality()
+	}
+
+	// measure handles one directed pair and returns the cluster time it
+	// consumed (always finite).
+	measure := func(i, j int, interference bool) float64 {
+		if cfg.Resilient {
+			l, ok, dt, quality := pairProbe(c, rng, &cfg, cal, i, j, interference)
+			if !ok {
+				cal.Failed++
+				cal.Missing++
+				perf.MarkMissing(i, j)
+				return dt
+			}
+			perf.SetLinkQ(i, j, l, quality)
+			return dt
+		}
+		// Legacy path: one blind retry, repair afterwards.
+		l, ok := probeOnce(c, rng, &cfg, i, j)
+		if !ok {
+			cal.Dropped++
+			l, ok = probeOnce(c, rng, &cfg, i, j)
+			if !ok { // retry also failed
+				cal.Failed++
+				perf.SetLink(i, j, netmodel.Link{})
+				return 0
+			}
+		}
+		if interference && cfg.InterferenceNoise > 0 {
+			f := clampPositive(1 + cfg.InterferenceNoise*rng.NormFloat64())
+			l.Beta *= f
+			l.Alpha /= f
+		}
+		perf.SetLink(i, j, l)
+		if t := pingpongTime(l, cfg.BulkBytes); !math.IsInf(t, 1) && !math.IsNaN(t) {
+			return t
+		}
+		return 0
 	}
 
 	if cfg.Sequential {
@@ -132,33 +378,29 @@ func Calibrate(c Cluster, rng *rand.Rand, cfg CalibrationConfig) *Calibration {
 				if i == j {
 					continue
 				}
-				l := measure(i, j, false)
-				perf.SetLink(i, j, l)
-				dt := pingpongTime(l, cfg.BulkBytes) + cfg.RoundSync
+				dt := measure(i, j, false) + cfg.RoundSync
 				c.AdvanceTime(dt)
 				cal.Cost += dt
 				cal.Rounds++
 			}
 		}
-		cal.Repaired = perf.Repair()
-		return cal
-	}
-
-	for _, round := range PairSchedule(n) {
-		roundTime := 0.0
-		for _, pr := range round {
-			l := measure(pr[0], pr[1], true)
-			perf.SetLink(pr[0], pr[1], l)
-			if t := pingpongTime(l, cfg.BulkBytes); t > roundTime && !math.IsInf(t, 1) {
-				roundTime = t
+	} else {
+		for _, round := range PairSchedule(n) {
+			roundTime := 0.0
+			for _, pr := range round {
+				if t := measure(pr[0], pr[1], true); t > roundTime {
+					roundTime = t
+				}
 			}
+			dt := roundTime + cfg.RoundSync
+			c.AdvanceTime(dt)
+			cal.Cost += dt
+			cal.Rounds++
 		}
-		dt := roundTime + cfg.RoundSync
-		c.AdvanceTime(dt)
-		cal.Cost += dt
-		cal.Rounds++
 	}
-	cal.Repaired = perf.Repair()
+	if !cfg.Resilient {
+		cal.Repaired = perf.Repair()
+	}
 	return cal
 }
 
@@ -168,6 +410,40 @@ type TemporalCalibration struct {
 	Latency   *netmodel.TPMatrix
 	Bandwidth *netmodel.TPMatrix
 	TotalCost float64
+
+	// Steps holds the per-row calibration results (nil for snapshot-based
+	// temporal matrices, which have no measurement procedure to account
+	// for).
+	Steps []*Calibration
+	// Mask is the steps×N² observation mask aligned with the TP-matrix
+	// rows: 1 where the cell was measured, 0 where the probe budget was
+	// exhausted. Nil means fully observed.
+	Mask *mat.Dense
+}
+
+// Coverage returns the observed fraction of the TP-matrix's off-diagonal
+// cells (1 when no mask was recorded).
+func (tc *TemporalCalibration) Coverage() float64 {
+	if tc.Mask == nil {
+		return 1
+	}
+	n := tc.Latency.N
+	rows := tc.Mask.Rows()
+	if rows == 0 || n < 2 {
+		return 1
+	}
+	observed := 0
+	for s := 0; s < rows; s++ {
+		row := tc.Mask.Row(s)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && row[i*n+j] > 0.5 {
+					observed++
+				}
+			}
+		}
+	}
+	return float64(observed) / float64(rows*n*(n-1))
 }
 
 // CalibrateTP performs `steps` calibrations separated by `gap` seconds of
@@ -182,11 +458,30 @@ func CalibrateTP(c Cluster, rng *rand.Rand, steps int, gap float64, cfg Calibrat
 		Latency:   netmodel.NewTPMatrix(n),
 		Bandwidth: netmodel.NewTPMatrix(n),
 	}
+	if cfg.Resilient {
+		tc.Mask = mat.NewDense(steps, n*n)
+	}
 	for s := 0; s < steps; s++ {
 		cal := Calibrate(c, rng, cfg)
 		tc.TotalCost += cal.Cost
+		tc.Steps = append(tc.Steps, cal)
 		tc.Latency.Append(c.Now(), cal.Perf.Latency)
 		tc.Bandwidth.Append(c.Now(), cal.Perf.Bandwth)
+		if tc.Mask != nil {
+			row := tc.Mask.Row(s)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i != j && !cal.Perf.IsMissing(i, j) {
+						row[i*n+j] = 1
+					}
+				}
+			}
+			// Diagonal cells are structurally zero in every row; marking
+			// them observed keeps the mask from treating them as gaps.
+			for i := 0; i < n; i++ {
+				row[i*n+i] = 1
+			}
+		}
 		if s < steps-1 && gap > 0 {
 			c.AdvanceTime(gap)
 			tc.TotalCost += gap

@@ -27,11 +27,22 @@ type AdvisorConfig struct {
 	Calibration cloud.CalibrationConfig
 	// RPCAOpts configures the solver (zero value = literature defaults).
 	RPCAOpts rpca.Options
+	// IALM configures the masked solver used when a calibration reports
+	// missing cells (zero value = literature defaults).
+	IALM rpca.IALMOptions
 	// Extract selects the constant-row extraction method.
 	Extract rpca.ExtractMethod
 	// Heuristic selects the direct-use estimator for the Heuristics
 	// strategy.
 	Heuristic HeuristicKind
+	// RegimeThreshold is the divergence EWMA level that counts an
+	// observation toward a regime change — persistent sub-threshold drift
+	// that Observe's spike check would never catch. Defaults to
+	// Threshold/2.
+	RegimeThreshold float64
+	// RegimeWindow is how many consecutive over-RegimeThreshold
+	// observations trigger an automatic re-calibration. Default 3.
+	RegimeWindow int
 }
 
 func (c *AdvisorConfig) applyDefaults() {
@@ -40,6 +51,12 @@ func (c *AdvisorConfig) applyDefaults() {
 	}
 	if c.Threshold == 0 {
 		c.Threshold = 1.0
+	}
+	if c.RegimeThreshold == 0 {
+		c.RegimeThreshold = c.Threshold / 2
+	}
+	if c.RegimeWindow == 0 {
+		c.RegimeWindow = 3
 	}
 }
 
@@ -54,11 +71,18 @@ type Advisor struct {
 	constant  *netmodel.PerfMatrix // P_D assembled from the two constant rows
 	heuristic *netmodel.PerfMatrix // the Heuristics strategy's estimate
 	normE     float64              // Norm(N_E) from the bandwidth TP-matrix
+	health    CalibrationHealth    // measurement health of the last analysis
 
 	calibrations  int
 	totalCalCost  float64
 	lastCal       *cloud.TemporalCalibration
 	recalibraions int
+
+	// Divergence regime tracking (Observe): EWMA of the relative
+	// actual-vs-expected difference and the current run length of
+	// observations whose EWMA sits above RegimeThreshold.
+	divEWMA   float64
+	regimeRun int
 }
 
 // NewAdvisor creates an advisor; call Calibrate before asking for
@@ -88,20 +112,40 @@ func (a *Advisor) AnalyzeCalibration(tc *cloud.TemporalCalibration) error {
 }
 
 func (a *Advisor) analyze(tc *cloud.TemporalCalibration) error {
-	latD, err := DecomposeTP(tc.Latency, a.cfg.RPCAOpts, a.cfg.Extract)
-	if err != nil {
-		return err
-	}
-	bwD, err := DecomposeTP(tc.Bandwidth, a.cfg.RPCAOpts, a.cfg.Extract)
-	if err != nil {
-		return err
+	var latD, bwD *Decomposition
+	var err error
+	if tc.Mask != nil {
+		// Partially observed calibration: the masked IALM solver
+		// reconstructs the constant component through the gaps instead of
+		// treating zero-filled holes as genuine (extreme) observations.
+		latD, err = DecomposeTPMasked(tc.Latency, tc.Mask, a.cfg.IALM, a.cfg.Extract)
+		if err != nil {
+			return err
+		}
+		bwD, err = DecomposeTPMasked(tc.Bandwidth, tc.Mask, a.cfg.IALM, a.cfg.Extract)
+		if err != nil {
+			return err
+		}
+	} else {
+		latD, err = DecomposeTP(tc.Latency, a.cfg.RPCAOpts, a.cfg.Extract)
+		if err != nil {
+			return err
+		}
+		bwD, err = DecomposeTP(tc.Bandwidth, a.cfg.RPCAOpts, a.cfg.Extract)
+		if err != nil {
+			return err
+		}
 	}
 	n := tc.Latency.N
 	a.constant = PerfFromRows(n, latD.ConstantRow, bwD.ConstantRow)
 	a.normE = bwD.NormE
+	a.health = AssessCalibration(tc, latD.Converged && bwD.Converged)
 	a.heuristic = PerfFromRows(n,
 		HeuristicRow(tc.Latency, a.cfg.Heuristic, false),
 		HeuristicRow(tc.Bandwidth, a.cfg.Heuristic, true))
+	// Fresh guidance resets the divergence regime tracker.
+	a.divEWMA = 0
+	a.regimeRun = 0
 	return nil
 }
 
@@ -119,6 +163,21 @@ func (a *Advisor) NormE() float64 { return a.normE }
 
 // Effectiveness grades the last NormE.
 func (a *Advisor) Effectiveness() Effectiveness { return GradeEffectiveness(a.normE) }
+
+// Health reports the measurement health of the last calibration (the zero
+// value, Confidence none, before the first one).
+func (a *Advisor) Health() CalibrationHealth { return a.health }
+
+// Confidence is shorthand for Health().Confidence.
+func (a *Advisor) Confidence() Confidence { return a.health.Confidence }
+
+// EffectiveStrategy maps the requested strategy through the confidence
+// fallback ladder: RPCA degrades to Heuristics and then Baseline as the
+// calibration health drops, so a damaged calibration can never steer the
+// collective with a constant component it does not actually support.
+func (a *Advisor) EffectiveStrategy(s Strategy) Strategy {
+	return FallbackStrategy(s, a.health.Confidence)
+}
 
 // Calibrations returns how many full calibrations have run.
 func (a *Advisor) Calibrations() int { return a.calibrations }
@@ -150,6 +209,9 @@ func (a *Advisor) GuidancePerf(s Strategy) *netmodel.PerfMatrix {
 // only consulted by TopologyAware (and may be nil otherwise).
 func (a *Advisor) PlanTree(s Strategy, root int, msgBytes float64, dc *topo.Topology, hosts []int) *mpi.Tree {
 	n := a.cluster.Size()
+	if a.lastCal != nil {
+		s = a.EffectiveStrategy(s)
+	}
 	switch s {
 	case RPCA, Heuristics:
 		perf := a.GuidancePerf(s)
@@ -179,15 +241,34 @@ func (a *Advisor) ExpectedTime(t *mpi.Tree, op mpi.Collective, msgBytes float64)
 
 // Observe implements the maintenance check of Algorithm 1 lines 4–9:
 // compare the measured performance t against the expected t′ and
-// re-calibrate when the relative difference reaches the threshold. It
-// reports whether a re-calibration was triggered.
+// re-calibrate when the relative difference reaches the threshold. A
+// second, slower trigger catches regime changes the spike check misses:
+// an EWMA of the relative divergence that stays above RegimeThreshold for
+// RegimeWindow consecutive observations — sustained drift rather than a
+// one-off outlier — also forces a re-calibration. It reports whether a
+// re-calibration was triggered.
 func (a *Advisor) Observe(expected, actual float64) (bool, error) {
 	if expected <= 0 || math.IsNaN(expected) {
 		return false, nil
 	}
-	if math.Abs(actual-expected)/expected < a.cfg.Threshold {
-		return false, nil
+	rel := math.Abs(actual-expected) / expected
+	if rel >= a.cfg.Threshold {
+		a.recalibraions++
+		return true, a.Calibrate()
 	}
-	a.recalibraions++
-	return true, a.Calibrate()
+	a.divEWMA = 0.3*rel + 0.7*a.divEWMA
+	if a.divEWMA >= a.cfg.RegimeThreshold {
+		a.regimeRun++
+	} else {
+		a.regimeRun = 0
+	}
+	if a.regimeRun >= a.cfg.RegimeWindow {
+		a.recalibraions++
+		return true, a.Calibrate()
+	}
+	return false, nil
 }
+
+// DivergenceEWMA exposes the current smoothed actual-vs-expected relative
+// difference the regime detector tracks.
+func (a *Advisor) DivergenceEWMA() float64 { return a.divEWMA }

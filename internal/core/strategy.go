@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"netconstant/internal/mat"
 	"netconstant/internal/netmodel"
 	"netconstant/internal/rpca"
 )
@@ -166,6 +167,48 @@ func DecomposeTP(tp *netmodel.TPMatrix, opts rpca.Options, extract rpca.ExtractM
 	return &Decomposition{
 		ConstantRow: row,
 		NormE:       rpca.RelNorm(ne, a, rpca.NormL1, 0),
+		Iterations:  res.Iterations,
+		Converged:   res.Converged,
+		RankD:       res.RankD,
+	}, nil
+}
+
+// DecomposeTPMasked runs the masked IALM solver on a partially observed
+// TP-matrix and extracts the constant row. mask is the rows×N² observation
+// mask (1 = measured); nil falls back to the fully observed IALM path. The
+// same fat-matrix λ default as DecomposeTP applies, and NormE is evaluated
+// on the observed cells only — unobserved cells carry no evidence about
+// the network's dynamism, so counting their (reconstructed) residual would
+// understate it.
+func DecomposeTPMasked(tp *netmodel.TPMatrix, mask *mat.Dense, opts rpca.IALMOptions, extract rpca.ExtractMethod) (*Decomposition, error) {
+	a := tp.Matrix()
+	if opts.Lambda == 0 && a.Rows() > 0 {
+		opts.Lambda = 1 / math.Sqrt(float64(a.Rows()))
+	}
+	res, err := rpca.DecomposeMasked(a, mask, opts)
+	if err != nil {
+		return nil, err
+	}
+	row := rpca.ConstantRow(res.D, extract)
+	nd := rpca.ConstantMatrix(row, a.Rows())
+	var num, den float64
+	r, c := a.Dims()
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if mask != nil && mask.At(i, j) < 0.5 {
+				continue
+			}
+			num += math.Abs(a.At(i, j) - nd.At(i, j))
+			den += math.Abs(a.At(i, j))
+		}
+	}
+	normE := 0.0
+	if den > 0 {
+		normE = num / den
+	}
+	return &Decomposition{
+		ConstantRow: row,
+		NormE:       normE,
 		Iterations:  res.Iterations,
 		Converged:   res.Converged,
 		RankD:       res.RankD,

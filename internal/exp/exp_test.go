@@ -44,8 +44,10 @@ func TestFig4CalibrationShape(t *testing.T) {
 	if res.CostSeconds[196] < 5*60 || res.CostSeconds[196] > 15*60 {
 		t.Errorf("196-instance calibration %.1fs not ~10 min", res.CostSeconds[196])
 	}
-	// §V-B: RPCA runs in well under a minute.
-	if res.RPCASeconds > 60 {
+	// §V-B: RPCA runs in well under a minute. Skipped under the race
+	// detector, whose instrumentation slows the solver by an order of
+	// magnitude.
+	if !raceEnabled && res.RPCASeconds > 60 {
 		t.Errorf("RPCA took %.1fs, paper claims < 1 min", res.RPCASeconds)
 	}
 	if len(res.Table.Rows) != 3 {

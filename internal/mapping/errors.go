@@ -1,0 +1,14 @@
+package mapping
+
+import "errors"
+
+// Sentinel errors for the fallible mapping APIs (GreedyMapE, CostE,
+// ValidatePermutation). The panicking GreedyMap/Cost wrappers remain for
+// internally generated graphs, where a mismatch is a programming bug.
+var (
+	// ErrGraphMismatch: the task and machine graphs have different orders.
+	ErrGraphMismatch = errors.New("mapping: graph order mismatch")
+	// ErrBadAssignment: an assignment is the wrong length or not a
+	// permutation.
+	ErrBadAssignment = errors.New("mapping: bad assignment")
+)

@@ -110,8 +110,18 @@ func RingMapping(n int) []int {
 // heaviest connections. It returns assign[task] = machine and requires the
 // two graphs to have equal order.
 func GreedyMap(task, machine *Graph) []int {
+	assign, err := GreedyMapE(task, machine)
+	if err != nil {
+		panic(err)
+	}
+	return assign
+}
+
+// GreedyMapE is the fallible variant of GreedyMap; the error wraps
+// ErrGraphMismatch.
+func GreedyMapE(task, machine *Graph) ([]int, error) {
 	if task.N != machine.N {
-		panic(fmt.Sprintf("mapping: graph order mismatch %d vs %d", task.N, machine.N))
+		return nil, fmt.Errorf("%w: %d vs %d", ErrGraphMismatch, task.N, machine.N)
 	}
 	n := task.N
 	assign := make([]int, n) // task -> machine
@@ -184,7 +194,7 @@ func GreedyMap(task, machine *Graph) []int {
 			}
 		}
 	}
-	return assign
+	return assign, nil
 }
 
 func neighboursByWeight(g *Graph, v int, skip func(int) bool) []int {
@@ -213,8 +223,17 @@ func neighboursByWeight(g *Graph, v int, skip func(int) bool) []int {
 // (single-port), and the elapsed estimate is the busiest machine's total
 // send time. It returns (elapsed, totalTransferTime).
 func Cost(task *Graph, assign []int, perf *netmodel.PerfMatrix) (elapsed, total float64) {
+	elapsed, total, err := CostE(task, assign, perf)
+	if err != nil {
+		panic(err)
+	}
+	return elapsed, total
+}
+
+// CostE is the fallible variant of Cost; the error wraps ErrBadAssignment.
+func CostE(task *Graph, assign []int, perf *netmodel.PerfMatrix) (elapsed, total float64, err error) {
 	if len(assign) != task.N {
-		panic("mapping: assignment length mismatch")
+		return 0, 0, fmt.Errorf("%w: assignment length %d, task order %d", ErrBadAssignment, len(assign), task.N)
 	}
 	perNode := make([]float64, perf.N)
 	for i := 0; i < task.N; i++ {
@@ -237,18 +256,19 @@ func Cost(task *Graph, assign []int, perf *netmodel.PerfMatrix) (elapsed, total 
 			elapsed = t
 		}
 	}
-	return elapsed, total
+	return elapsed, total, nil
 }
 
-// ValidatePermutation checks that assign is a bijection onto [0, n).
+// ValidatePermutation checks that assign is a bijection onto [0, n). The
+// error wraps ErrBadAssignment.
 func ValidatePermutation(assign []int) error {
 	seen := make([]bool, len(assign))
 	for task, m := range assign {
 		if m < 0 || m >= len(assign) {
-			return fmt.Errorf("mapping: task %d assigned out-of-range machine %d", task, m)
+			return fmt.Errorf("%w: task %d assigned out-of-range machine %d", ErrBadAssignment, task, m)
 		}
 		if seen[m] {
-			return fmt.Errorf("mapping: machine %d assigned twice", m)
+			return fmt.Errorf("%w: machine %d assigned twice", ErrBadAssignment, m)
 		}
 		seen[m] = true
 	}

@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -198,4 +199,34 @@ func TestGreedyDeterministic(t *testing.T) {
 			t.Fatal("greedy mapping not deterministic")
 		}
 	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	task := RandomTaskGraph(rng, 4, 0.5, 5e6, 1e7)
+	machine := NewGraph(5)
+	if _, err := GreedyMapE(task, machine); !errors.Is(err, ErrGraphMismatch) {
+		t.Errorf("mismatch err = %v", err)
+	}
+	if _, _, err := CostE(task, []int{0, 1}, netmodel.NewPerfMatrix(4)); !errors.Is(err, ErrBadAssignment) {
+		t.Errorf("short assignment err = %v", err)
+	}
+	if err := ValidatePermutation([]int{0, 0, 1}); !errors.Is(err, ErrBadAssignment) {
+		t.Errorf("duplicate machine err = %v", err)
+	}
+	if err := ValidatePermutation([]int{0, 7, 1}); !errors.Is(err, ErrBadAssignment) {
+		t.Errorf("range err = %v", err)
+	}
+	if err := ValidatePermutation([]int{2, 0, 1}); err != nil {
+		t.Errorf("valid permutation err = %v", err)
+	}
+	// Panicking wrappers carry the typed error.
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("GreedyMap should panic on mismatch")
+		} else if err, ok := r.(error); !ok || !errors.Is(err, ErrGraphMismatch) {
+			t.Errorf("panic value %v", r)
+		}
+	}()
+	GreedyMap(task, machine)
 }

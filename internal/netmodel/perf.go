@@ -39,10 +39,19 @@ func (l Link) TransferTime(n float64) float64 {
 // virtual cluster: two N×N matrices holding per-pair latency (seconds) and
 // bandwidth (bytes/second). The diagonal is zero-latency, infinite-speed
 // loopback by convention and is ignored by the optimizers.
+//
+// Quality, when non-nil, carries a per-cell measurement quality score in
+// [0, 1] shared by both matrices (a probe measures latency and bandwidth
+// together): 1 is a clean first-attempt measurement, lower values mean the
+// probe needed retries or had repeats rejected as outliers, and 0 marks a
+// cell as *missing* — the probe exhausted its retry budget and the cell
+// holds no measurement. A nil Quality is the legacy convention: every
+// off-diagonal cell is assumed measured at full quality.
 type PerfMatrix struct {
 	N       int
 	Latency *mat.Dense
 	Bandwth *mat.Dense
+	Quality *mat.Dense
 }
 
 // NewPerfMatrix allocates a zeroed N×N performance snapshot.
@@ -78,9 +87,104 @@ func (p *PerfMatrix) Weights(msgBytes float64) *mat.Dense {
 	return w
 }
 
+// EnsureQuality allocates the quality matrix if absent. Cells start at 0
+// (unmeasured); calibration marks each cell as it is probed.
+func (p *PerfMatrix) EnsureQuality() {
+	if p.Quality == nil {
+		p.Quality = mat.NewDense(p.N, p.N)
+	}
+}
+
+// SetLinkQ assigns the pair's α-β parameters together with a measurement
+// quality score in [0, 1], allocating the quality matrix on first use.
+func (p *PerfMatrix) SetLinkQ(i, j int, l Link, quality float64) {
+	p.EnsureQuality()
+	p.SetLink(i, j, l)
+	if quality < 0 {
+		quality = 0
+	}
+	if quality > 1 {
+		quality = 1
+	}
+	p.Quality.Set(i, j, quality)
+}
+
+// MarkMissing records that the pair could not be measured: the cell keeps a
+// zero link and quality 0 so downstream layers can mask it instead of
+// consuming a silent zero.
+func (p *PerfMatrix) MarkMissing(i, j int) {
+	p.EnsureQuality()
+	p.SetLink(i, j, Link{})
+	p.Quality.Set(i, j, 0)
+}
+
+// QualityAt returns the cell's quality score; matrices without quality
+// tracking report full quality for every off-diagonal cell.
+func (p *PerfMatrix) QualityAt(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if p.Quality == nil {
+		return 1
+	}
+	return p.Quality.At(i, j)
+}
+
+// IsMissing reports whether the directed off-diagonal cell holds no
+// measurement. With quality tracking a cell is missing iff its quality is
+// zero; legacy matrices fall back to the non-positive-value convention
+// used by Repair.
+func (p *PerfMatrix) IsMissing(i, j int) bool {
+	if i == j {
+		return false
+	}
+	if p.Quality != nil {
+		return !(p.Quality.At(i, j) > 0)
+	}
+	return !(p.Bandwth.At(i, j) > 0)
+}
+
+// Coverage returns the fraction of off-diagonal cells holding a
+// measurement.
+func (p *PerfMatrix) Coverage() float64 {
+	if p.N < 2 {
+		return 1
+	}
+	measured := 0
+	for i := 0; i < p.N; i++ {
+		for j := 0; j < p.N; j++ {
+			if i != j && !p.IsMissing(i, j) {
+				measured++
+			}
+		}
+	}
+	return float64(measured) / float64(p.N*(p.N-1))
+}
+
+// MeanQuality averages the quality score over all off-diagonal cells
+// (missing cells count as 0). Without quality tracking it returns 1.
+func (p *PerfMatrix) MeanQuality() float64 {
+	if p.Quality == nil || p.N < 2 {
+		return 1
+	}
+	var s float64
+	for i := 0; i < p.N; i++ {
+		for j := 0; j < p.N; j++ {
+			if i != j {
+				s += p.Quality.At(i, j)
+			}
+		}
+	}
+	return s / float64(p.N*(p.N-1))
+}
+
 // Clone returns a deep copy.
 func (p *PerfMatrix) Clone() *PerfMatrix {
-	return &PerfMatrix{N: p.N, Latency: p.Latency.Clone(), Bandwth: p.Bandwth.Clone()}
+	out := &PerfMatrix{N: p.N, Latency: p.Latency.Clone(), Bandwth: p.Bandwth.Clone()}
+	if p.Quality != nil {
+		out.Quality = p.Quality.Clone()
+	}
+	return out
 }
 
 // Repair fills in missing measurements (non-positive or NaN cells) of a
@@ -90,17 +194,29 @@ func (p *PerfMatrix) Clone() *PerfMatrix {
 // this receiver" population). It returns how many cells were repaired.
 // Diagonal cells are ignored. Snapshots where an entire column failed keep
 // zero cells — callers should re-measure in that case.
+//
+// With quality tracking enabled, missingness is driven by the quality mask
+// (a shared probe failure breaks latency and bandwidth together), repaired
+// cells are down-scored instead of passing as real measurements
+// (reverse-direction borrow: half the donor's quality; column median: 0.2),
+// and cells that cannot be repaired stay marked missing so masked
+// decomposition can exclude them.
 func (p *PerfMatrix) Repair() int {
 	repaired := 0
-	fix := func(m *mat.Dense) {
-		bad := func(v float64) bool { return !(v > 0) } // catches NaN too
+	bad := func(m *mat.Dense, i, j int) bool {
+		if p.Quality != nil {
+			return !(p.Quality.At(i, j) > 0)
+		}
+		return !(m.At(i, j) > 0) // catches NaN too
+	}
+	fix := func(m *mat.Dense, score bool) {
 		colMedian := func(j int) float64 {
 			var vals []float64
 			for i := 0; i < p.N; i++ {
 				if i == j {
 					continue
 				}
-				if v := m.At(i, j); !bad(v) {
+				if v := m.At(i, j); !bad(m, i, j) && v > 0 {
 					vals = append(vals, v)
 				}
 			}
@@ -115,23 +231,29 @@ func (p *PerfMatrix) Repair() int {
 		}
 		for i := 0; i < p.N; i++ {
 			for j := 0; j < p.N; j++ {
-				if i == j || !bad(m.At(i, j)) {
+				if i == j || !bad(m, i, j) {
 					continue
 				}
-				if rev := m.At(j, i); !bad(rev) {
+				if rev := m.At(j, i); !bad(m, j, i) && rev > 0 {
 					m.Set(i, j, rev)
+					if score && p.Quality != nil {
+						p.Quality.Set(i, j, 0.5*p.Quality.At(j, i))
+					}
 					repaired++
 					continue
 				}
 				if med := colMedian(j); med > 0 {
 					m.Set(i, j, med)
+					if score && p.Quality != nil {
+						p.Quality.Set(i, j, 0.2)
+					}
 					repaired++
 				}
 			}
 		}
 	}
-	fix(p.Latency)
-	fix(p.Bandwth)
+	fix(p.Latency, false)
+	fix(p.Bandwth, true) // score once: the quality mask is shared
 	return repaired
 }
 

@@ -32,6 +32,9 @@ func DecomposeIALM(a *mat.Dense, opts IALMOptions) (*Result, error) {
 	if r == 0 || c == 0 {
 		return nil, errors.New("rpca: empty matrix")
 	}
+	if err := checkFinite(a); err != nil {
+		return nil, err
+	}
 	lambda := opts.Lambda
 	if lambda <= 0 {
 		lambda = 1 / math.Sqrt(float64(max(r, c)))

@@ -1,0 +1,181 @@
+package rpca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"netconstant/internal/mat"
+)
+
+// ErrNonFinite is the sentinel wrapped by NonFiniteError: the input matrix
+// contains a NaN or ±Inf entry. RPCA iterations silently propagate
+// non-finite values into every entry of D and E, so the solvers reject
+// such inputs up front instead of returning a corrupt decomposition.
+var ErrNonFinite = errors.New("rpca: non-finite input")
+
+// NonFiniteError reports the first non-finite entry found in an input
+// matrix. It unwraps to ErrNonFinite.
+type NonFiniteError struct {
+	Row, Col int
+	Value    float64
+}
+
+// Error formats the offending position and value.
+func (e *NonFiniteError) Error() string {
+	return fmt.Sprintf("rpca: non-finite input at (%d,%d): %v", e.Row, e.Col, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrNonFinite) work.
+func (e *NonFiniteError) Unwrap() error { return ErrNonFinite }
+
+// ErrEmptyMask is returned by DecomposeMasked when the mask observes no
+// entry at all — there is nothing to decompose.
+var ErrEmptyMask = errors.New("rpca: mask observes no entries")
+
+// checkFinite scans a matrix and returns a *NonFiniteError for the first
+// NaN/Inf entry, or nil if all entries are finite.
+func checkFinite(a *mat.Dense) error {
+	_, c := a.Dims()
+	for idx, v := range a.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &NonFiniteError{Row: idx / c, Col: idx % c, Value: v}
+		}
+	}
+	return nil
+}
+
+// DecomposeMasked solves RPCA with missing entries: given an observation
+// mask Ω (mask cell > 0.5 ⇔ observed), it finds D low-rank and E sparse
+// with P_Ω(A) = P_Ω(D + E), leaving the unobserved entries of A free. This
+// is the IALM iteration with missing-entry projection: each round the
+// unobserved entries of the working matrix are refreshed from the current
+// D + E (so they exert no pull of their own), the sparse component is
+// confined to Ω (no error term can live where nothing was measured), and
+// the multiplier/residual updates only count observed entries.
+//
+// Calibrations with probe gaps use this instead of zero-filling: a zero
+// bandwidth cell fed to the unmasked solver looks like an extreme outlier
+// and corrupts the constant component, whereas the mask lets the low-rank
+// structure interpolate the gap.
+//
+// A nil mask (or an all-ones mask) reduces to DecomposeIALM.
+func DecomposeMasked(a, mask *mat.Dense, opts IALMOptions) (*Result, error) {
+	if mask == nil {
+		return DecomposeIALM(a, opts)
+	}
+	r, c := a.Dims()
+	if r == 0 || c == 0 {
+		return nil, errors.New("rpca: empty matrix")
+	}
+	if mr, mc := mask.Dims(); mr != r || mc != c {
+		return nil, fmt.Errorf("rpca: mask dims %dx%d != data %dx%d", mr, mc, r, c)
+	}
+	if err := checkFinite(a); err != nil {
+		return nil, err
+	}
+
+	observed := func(i, j int) bool { return mask.At(i, j) > 0.5 }
+	// aObs = P_Ω(A); unobserved entries start at zero and are refreshed
+	// from D+E each iteration.
+	aObs := mat.NewDense(r, c)
+	nObs := 0
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if observed(i, j) {
+				aObs.Set(i, j, a.At(i, j))
+				nObs++
+			}
+		}
+	}
+	if nObs == 0 {
+		return nil, ErrEmptyMask
+	}
+	if nObs == r*c {
+		return DecomposeIALM(a, opts)
+	}
+
+	lambda := opts.Lambda
+	if lambda <= 0 {
+		lambda = 1 / math.Sqrt(float64(max(r, c)))
+	}
+	normA2 := aObs.NormSpectral()
+	if normA2 == 0 {
+		return &Result{D: mat.NewDense(r, c), E: mat.NewDense(r, c), Converged: true}, nil
+	}
+	mu := opts.Mu0
+	if mu <= 0 {
+		mu = 1.25 / normA2
+	}
+	muBar := mu * 1e7
+	rho := opts.Rho
+	if rho <= 1 {
+		rho = 1.5
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+
+	normAF := aObs.NormFrobenius()
+	scale := math.Max(normA2, aObs.NormMax()/lambda)
+	y := aObs.Scale(1 / scale)
+	e := mat.NewDense(r, c)
+	fill := aObs.Clone() // P_Ω(A) + P_Ωᶜ(D+E), refreshed per iteration
+	var d *mat.Dense
+	res := &Result{}
+
+	for k := 0; k < maxIter; k++ {
+		// D-step: SVT of Fill − E + Y/μ at threshold 1/μ.
+		t := fill.Sub(e)
+		t.AddInPlace(y.Scale(1 / mu))
+		var rank int
+		d, rank = t.SVT(1 / mu)
+
+		// E-step: soft threshold of Fill − D + Y/μ at λ/μ, confined to Ω.
+		t = fill.Sub(d)
+		t.AddInPlace(y.Scale(1 / mu))
+		e = t.SoftThreshold(lambda / mu)
+		e.Apply(func(i, j int, v float64) float64 {
+			if observed(i, j) {
+				return v
+			}
+			return 0
+		})
+
+		// Residual and multiplier updates on observed entries only.
+		z := mat.NewDense(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if observed(i, j) {
+					z.Set(i, j, aObs.At(i, j)-d.At(i, j)-e.At(i, j))
+				}
+			}
+		}
+		y.AddInPlace(z.Scale(mu))
+		mu = math.Min(rho*mu, muBar)
+
+		// Refresh the unobserved fill from the current completion.
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if !observed(i, j) {
+					fill.Set(i, j, d.At(i, j)+e.At(i, j))
+				}
+			}
+		}
+
+		res.Iterations = k + 1
+		res.RankD = rank
+		if z.NormFrobenius() <= tol*math.Max(1, normAF) {
+			res.Converged = true
+			break
+		}
+	}
+	res.D = d
+	res.E = e
+	return res, nil
+}

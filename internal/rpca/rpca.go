@@ -50,11 +50,15 @@ type Result struct {
 	RankD      int // numerical rank of D after the final SVT
 }
 
-// Decompose runs APG RPCA on a. The input is not modified.
+// Decompose runs APG RPCA on a. The input is not modified. Inputs with
+// NaN/Inf entries are rejected with an error unwrapping to ErrNonFinite.
 func Decompose(a *mat.Dense, opts Options) (*Result, error) {
 	r, c := a.Dims()
 	if r == 0 || c == 0 {
 		return nil, errors.New("rpca: empty matrix")
+	}
+	if err := checkFinite(a); err != nil {
+		return nil, err
 	}
 	lambda := opts.Lambda
 	if lambda <= 0 {

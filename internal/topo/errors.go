@@ -1,0 +1,19 @@
+package topo
+
+import "errors"
+
+// Sentinel errors for the fallible topology APIs (AddLinkE, RouteE). The
+// historical AddLink/Route panic wrappers remain for construction-time
+// code where a malformed topology is a programming bug, but callers that
+// build topologies from external input should use the E variants and test
+// with errors.Is.
+var (
+	// ErrNodeRange: a node index is outside [0, NumNodes).
+	ErrNodeRange = errors.New("topo: node index out of range")
+	// ErrSelfLink: both link endpoints name the same node.
+	ErrSelfLink = errors.New("topo: self link")
+	// ErrBadCapacity: a link capacity is zero or negative.
+	ErrBadCapacity = errors.New("topo: non-positive capacity")
+	// ErrNoPath: the endpoints are disconnected.
+	ErrNoPath = errors.New("topo: no path between nodes")
+)

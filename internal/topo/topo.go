@@ -61,22 +61,33 @@ func (t *Topology) AddNode(kind NodeKind, rack int) int {
 }
 
 // AddLink connects nodes a and b with the given capacity (bytes/s) and
-// latency (s), returning the link ID.
+// latency (s), returning the link ID. It panics on invalid input; use
+// AddLinkE when building from untrusted data.
 func (t *Topology) AddLink(a, b int, capacity, latency float64) LinkID {
+	id, err := t.AddLinkE(a, b, capacity, latency)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddLinkE is the fallible variant of AddLink. Errors wrap ErrNodeRange,
+// ErrSelfLink, or ErrBadCapacity.
+func (t *Topology) AddLinkE(a, b int, capacity, latency float64) (LinkID, error) {
 	if a < 0 || a >= len(t.nodes) || b < 0 || b >= len(t.nodes) {
-		panic(fmt.Sprintf("topo: link endpoints (%d,%d) out of range", a, b))
+		return 0, fmt.Errorf("%w: link endpoints (%d,%d), %d nodes", ErrNodeRange, a, b, len(t.nodes))
 	}
 	if a == b {
-		panic("topo: self link")
+		return 0, fmt.Errorf("%w: node %d", ErrSelfLink, a)
 	}
 	if capacity <= 0 {
-		panic("topo: non-positive capacity")
+		return 0, fmt.Errorf("%w: %g", ErrBadCapacity, capacity)
 	}
 	id := LinkID(len(t.links))
 	t.links = append(t.links, Link{ID: id, A: a, B: b, Capacity: capacity, Latency: latency})
 	t.adj[a] = append(t.adj[a], adjEntry{link: id, peer: b})
 	t.adj[b] = append(t.adj[b], adjEntry{link: id, peer: a})
-	return id
+	return id, nil
 }
 
 // NumNodes returns the node count.
@@ -104,13 +115,24 @@ func (t *Topology) Servers() []int {
 
 // Route returns the sequence of link IDs of a shortest (hop-count) path
 // from a to b, found by breadth-first search. On trees the path is unique.
-// It returns nil for a == b and panics if no path exists.
+// It returns nil for a == b and panics on bad endpoints or a disconnected
+// pair; use RouteE when either can come from external input.
 func (t *Topology) Route(a, b int) []LinkID {
+	path, err := t.RouteE(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return path
+}
+
+// RouteE is the fallible variant of Route. Errors wrap ErrNodeRange or
+// ErrNoPath.
+func (t *Topology) RouteE(a, b int) ([]LinkID, error) {
 	if a == b {
-		return nil
+		return nil, nil
 	}
 	if a < 0 || a >= len(t.nodes) || b < 0 || b >= len(t.nodes) {
-		panic("topo: route endpoints out of range")
+		return nil, fmt.Errorf("%w: route endpoints (%d,%d), %d nodes", ErrNodeRange, a, b, len(t.nodes))
 	}
 	prev := make([]adjEntry, len(t.nodes))
 	seen := make([]bool, len(t.nodes))
@@ -131,7 +153,7 @@ func (t *Topology) Route(a, b int) []LinkID {
 		}
 	}
 	if !seen[b] {
-		panic(fmt.Sprintf("topo: no path from %d to %d", a, b))
+		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, a, b)
 	}
 	var rev []LinkID
 	for cur := b; cur != a; cur = prev[cur].peer {
@@ -141,7 +163,7 @@ func (t *Topology) Route(a, b int) []LinkID {
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
-	return rev
+	return rev, nil
 }
 
 // PathLatency sums the per-hop latency of a path.

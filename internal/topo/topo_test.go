@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -168,5 +169,54 @@ func TestTreeRackAssignment(t *testing.T) {
 		if counts[r] != 2 {
 			t.Errorf("rack %d has %d servers", r, counts[r])
 		}
+	}
+}
+
+func TestAddLinkETypedErrors(t *testing.T) {
+	g := New()
+	a := g.AddNode(Server, 0)
+	b := g.AddNode(Server, 0)
+	if _, err := g.AddLinkE(a, 99, 100, 0.001); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("out-of-range err = %v", err)
+	}
+	if _, err := g.AddLinkE(a, a, 100, 0.001); !errors.Is(err, ErrSelfLink) {
+		t.Errorf("self-link err = %v", err)
+	}
+	if _, err := g.AddLinkE(a, b, 0, 0.001); !errors.Is(err, ErrBadCapacity) {
+		t.Errorf("capacity err = %v", err)
+	}
+	if _, err := g.AddLinkE(a, b, 100, 0.001); err != nil {
+		t.Errorf("valid link err = %v", err)
+	}
+	// The panicking wrapper carries the same typed error.
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("AddLink should panic on self link")
+		} else if err, ok := r.(error); !ok || !errors.Is(err, ErrSelfLink) {
+			t.Errorf("panic value %v", r)
+		}
+	}()
+	g.AddLink(a, a, 100, 0.001)
+}
+
+func TestRouteETypedErrors(t *testing.T) {
+	g := New()
+	a := g.AddNode(Server, 0)
+	b := g.AddNode(Server, 0)
+	c := g.AddNode(Server, 1)
+	g.AddLink(a, b, 100, 0.001)
+
+	if path, err := g.RouteE(a, a); err != nil || path != nil {
+		t.Errorf("self route: %v %v", path, err)
+	}
+	if _, err := g.RouteE(a, 42); !errors.Is(err, ErrNodeRange) {
+		t.Errorf("range err = %v", err)
+	}
+	if _, err := g.RouteE(a, c); !errors.Is(err, ErrNoPath) {
+		t.Errorf("disconnected err = %v", err)
+	}
+	path, err := g.RouteE(a, b)
+	if err != nil || len(path) != 1 {
+		t.Errorf("connected route: %v %v", path, err)
 	}
 }
