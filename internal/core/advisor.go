@@ -67,6 +67,7 @@ type Advisor struct {
 	cluster cloud.Cluster
 	cfg     AdvisorConfig
 	rng     *rand.Rand
+	solver  *rpca.Solver // arena + SVT warm state reused across analyses
 
 	constant  *netmodel.PerfMatrix // P_D assembled from the two constant rows
 	heuristic *netmodel.PerfMatrix // the Heuristics strategy's estimate
@@ -89,7 +90,7 @@ type Advisor struct {
 // guidance.
 func NewAdvisor(c cloud.Cluster, rng *rand.Rand, cfg AdvisorConfig) *Advisor {
 	cfg.applyDefaults()
-	return &Advisor{cluster: c, cfg: cfg, rng: rng}
+	return &Advisor{cluster: c, cfg: cfg, rng: rng, solver: rpca.NewSolver()}
 }
 
 // Calibrate measures the TP-matrix and runs the RPCA analysis (Algorithm 1
@@ -118,20 +119,20 @@ func (a *Advisor) analyze(tc *cloud.TemporalCalibration) error {
 		// Partially observed calibration: the masked IALM solver
 		// reconstructs the constant component through the gaps instead of
 		// treating zero-filled holes as genuine (extreme) observations.
-		latD, err = DecomposeTPMasked(tc.Latency, tc.Mask, a.cfg.IALM, a.cfg.Extract)
+		latD, err = DecomposeTPMaskedWith(a.solver, tc.Latency, tc.Mask, a.cfg.IALM, a.cfg.Extract)
 		if err != nil {
 			return err
 		}
-		bwD, err = DecomposeTPMasked(tc.Bandwidth, tc.Mask, a.cfg.IALM, a.cfg.Extract)
+		bwD, err = DecomposeTPMaskedWith(a.solver, tc.Bandwidth, tc.Mask, a.cfg.IALM, a.cfg.Extract)
 		if err != nil {
 			return err
 		}
 	} else {
-		latD, err = DecomposeTP(tc.Latency, a.cfg.RPCAOpts, a.cfg.Extract)
+		latD, err = DecomposeTPWith(a.solver, tc.Latency, a.cfg.RPCAOpts, a.cfg.Extract)
 		if err != nil {
 			return err
 		}
-		bwD, err = DecomposeTP(tc.Bandwidth, a.cfg.RPCAOpts, a.cfg.Extract)
+		bwD, err = DecomposeTPWith(a.solver, tc.Bandwidth, a.cfg.RPCAOpts, a.cfg.Extract)
 		if err != nil {
 			return err
 		}

@@ -153,11 +153,20 @@ type Decomposition struct {
 //     from the extracted row — not the solver's internal E, whose mass
 //     depends on λ.
 func DecomposeTP(tp *netmodel.TPMatrix, opts rpca.Options, extract rpca.ExtractMethod) (*Decomposition, error) {
+	return DecomposeTPWith(rpca.NewSolver(), tp, opts, extract)
+}
+
+// DecomposeTPWith is DecomposeTP running on a caller-held solver, so
+// repeated analyses of same-shaped TP-matrices (the advisor re-analyzes
+// after every calibration and the Fig 5 sweep decomposes dozens of
+// prefixes) reuse the iteration arena and warm-started SVT workspace
+// instead of reallocating them.
+func DecomposeTPWith(s *rpca.Solver, tp *netmodel.TPMatrix, opts rpca.Options, extract rpca.ExtractMethod) (*Decomposition, error) {
 	a := tp.Matrix()
 	if opts.Lambda == 0 && a.Rows() > 0 {
 		opts.Lambda = 1 / math.Sqrt(float64(a.Rows()))
 	}
-	res, err := rpca.Decompose(a, opts)
+	res, err := s.Decompose(a, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -181,11 +190,17 @@ func DecomposeTP(tp *netmodel.TPMatrix, opts rpca.Options, extract rpca.ExtractM
 // the network's dynamism, so counting their (reconstructed) residual would
 // understate it.
 func DecomposeTPMasked(tp *netmodel.TPMatrix, mask *mat.Dense, opts rpca.IALMOptions, extract rpca.ExtractMethod) (*Decomposition, error) {
+	return DecomposeTPMaskedWith(rpca.NewSolver(), tp, mask, opts, extract)
+}
+
+// DecomposeTPMaskedWith is DecomposeTPMasked on a caller-held solver (see
+// DecomposeTPWith).
+func DecomposeTPMaskedWith(s *rpca.Solver, tp *netmodel.TPMatrix, mask *mat.Dense, opts rpca.IALMOptions, extract rpca.ExtractMethod) (*Decomposition, error) {
 	a := tp.Matrix()
 	if opts.Lambda == 0 && a.Rows() > 0 {
 		opts.Lambda = 1 / math.Sqrt(float64(a.Rows()))
 	}
-	res, err := rpca.DecomposeMasked(a, mask, opts)
+	res, err := s.DecomposeMasked(a, mask, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -283,12 +298,13 @@ func TimeStepAccuracy(tp *netmodel.TPMatrix, steps []int, opts rpca.Options, ext
 	if err != nil {
 		return nil, err
 	}
+	solver := rpca.NewSolver()
 	out := make(map[int]float64, len(steps))
 	for _, k := range steps {
 		if k < 1 || k > tp.Steps() {
 			return nil, fmt.Errorf("core: time step %d out of range [1,%d]", k, tp.Steps())
 		}
-		d, err := DecomposeTP(tp.Head(k), opts, extract)
+		d, err := DecomposeTPWith(solver, tp.Head(k), opts, extract)
 		if err != nil {
 			return nil, err
 		}

@@ -209,61 +209,28 @@ func (m *Dense) sameDims(b *Dense) {
 }
 
 // Mul returns the matrix product m·b. It panics on inner-dimension mismatch.
-// The inner loop is ordered (i, k, j) for cache-friendly row-major access.
+// The inner loop is ordered (i, k, j) for cache-friendly row-major access;
+// large products run on the package worker pool (see parallel.go).
 func (m *Dense) Mul(b *Dense) *Dense {
 	if m.cols != b.rows {
 		panic(fmt.Sprintf("mat: inner dimension mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols))
 	}
 	out := NewDense(m.rows, b.cols)
-	for i := 0; i < m.rows; i++ {
-		arow := m.data[i*m.cols : (i+1)*m.cols]
-		orow := out.data[i*b.cols : (i+1)*b.cols]
-		for k, aik := range arow {
-			if aik == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bkj := range brow {
-				orow[j] += aik * bkj
-			}
-		}
-	}
+	MulInto(out, m, b)
 	return out
 }
 
 // MulVec returns the matrix-vector product m·x.
 func (m *Dense) MulVec(x []float64) []float64 {
-	if len(x) != m.cols {
-		panic("mat: MulVec dimension mismatch")
-	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		out[i] = s
-	}
+	MulVecInto(out, m, x)
 	return out
 }
 
 // MulTVec returns mᵀ·x without materializing the transpose.
 func (m *Dense) MulTVec(x []float64) []float64 {
-	if len(x) != m.rows {
-		panic("mat: MulTVec dimension mismatch")
-	}
 	out := make([]float64, m.cols)
-	for i := 0; i < m.rows; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
-		}
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		for j, v := range row {
-			out[j] += xi * v
-		}
-	}
+	MulTVecInto(out, m, x)
 	return out
 }
 
@@ -271,18 +238,7 @@ func (m *Dense) MulTVec(x []float64) []float64 {
 // matrices (rows ≪ cols) this is the cheap route to a thin SVD.
 func (m *Dense) Gram() *Dense {
 	g := NewDense(m.rows, m.rows)
-	for i := 0; i < m.rows; i++ {
-		ri := m.data[i*m.cols : (i+1)*m.cols]
-		for j := i; j < m.rows; j++ {
-			rj := m.data[j*m.cols : (j+1)*m.cols]
-			var s float64
-			for k := range ri {
-				s += ri[k] * rj[k]
-			}
-			g.data[i*g.cols+j] = s
-			g.data[j*g.cols+i] = s
-		}
-	}
+	GramInto(g, m)
 	return g
 }
 

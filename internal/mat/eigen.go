@@ -1,9 +1,6 @@
 package mat
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // EigSym computes the eigendecomposition of a symmetric matrix using the
 // cyclic Jacobi rotation method. It returns eigenvalues in descending order
@@ -19,7 +16,24 @@ func EigSym(m *Dense) (vals []float64, vecs *Dense) {
 		panic("mat: EigSym requires a square matrix")
 	}
 	a := m.Clone()
-	v := Eye(n)
+	vecs = NewDense(n, n)
+	vals = make([]float64, n)
+	eigSymInPlace(a, vecs, vals)
+	return vals, vecs
+}
+
+// eigSymInPlace is the allocation-free core of EigSym: a is destroyed, v
+// (same shape as a) receives the eigenvectors in columns, and vals the
+// eigenvalues in descending order. v and vals are fully overwritten.
+func eigSymInPlace(a, v *Dense, vals []float64) {
+	n := a.rows
+	if a.cols != n || v.rows != n || v.cols != n || len(vals) < n {
+		panic("mat: eigSymInPlace dimension mismatch")
+	}
+	v.Zero()
+	for i := 0; i < n; i++ {
+		v.data[i*n+i] = 1
+	}
 
 	const maxSweeps = 100
 	for sweep := 0; sweep < maxSweeps; sweep++ {
@@ -76,23 +90,24 @@ func EigSym(m *Dense) (vals []float64, vecs *Dense) {
 		}
 	}
 
-	vals = make([]float64, n)
 	for i := 0; i < n; i++ {
 		vals[i] = a.data[i*n+i]
 	}
-	// Sort eigenpairs by descending eigenvalue.
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(x, y int) bool { return vals[idx[x]] > vals[idx[y]] })
-	sortedVals := make([]float64, n)
-	sortedVecs := NewDense(n, n)
-	for newCol, oldCol := range idx {
-		sortedVals[newCol] = vals[oldCol]
+	// Selection-sort eigenpairs by descending eigenvalue, swapping the
+	// eigenvector columns alongside (closure- and allocation-free).
+	for i := 0; i < n-1; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if vals[j] > vals[best] {
+				best = j
+			}
+		}
+		if best == i {
+			continue
+		}
+		vals[i], vals[best] = vals[best], vals[i]
 		for r := 0; r < n; r++ {
-			sortedVecs.data[r*n+newCol] = v.data[r*n+oldCol]
+			v.data[r*n+i], v.data[r*n+best] = v.data[r*n+best], v.data[r*n+i]
 		}
 	}
-	return sortedVals, sortedVecs
 }

@@ -1,0 +1,185 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lowRankPlusNoise builds a rank-k r×c matrix with singular values around
+// scale, plus small dense noise — the shape of an RPCA iterate.
+func lowRankPlusNoise(rng *rand.Rand, r, c, k int, scale, noise float64) *Dense {
+	u := RandomNormal(rng, r, k, 0, 1)
+	v := RandomNormal(rng, c, k, 0, 1)
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			var s float64
+			for l := 0; l < k; l++ {
+				s += u.At(i, l) * v.At(j, l)
+			}
+			m.Set(i, j, scale*s/float64(k)+noise*rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// TestSVTWorkspaceFatFullMatchesSVT pins the allocation-free Gram route to
+// the existing Dense.SVT on fat matrices: first call (cold workspace) must
+// agree to rounding error in both reconstruction and rank.
+func TestSVTWorkspaceFatFullMatchesSVT(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, sh := range [][2]int{{24, 300}, {31, 200}, {300, 24}} {
+		r, c := sh[0], sh[1]
+		m := lowRankPlusNoise(rng, r, c, 5, 40, 0.05)
+		want, wantRank := m.SVT(3.0)
+		ws := NewSVTWorkspace()
+		got := NewDense(r, c)
+		rank := ws.SVTInto(got, m, 3.0)
+		if rank != wantRank {
+			t.Fatalf("%dx%d: rank = %d, want %d", r, c, rank, wantRank)
+		}
+		if !got.ApproxEqual(want, 1e-9*math.Max(1, want.NormFrobenius())) {
+			t.Fatalf("%dx%d: full fat route deviates from Dense.SVT", r, c)
+		}
+	}
+}
+
+// TestSVTWorkspaceSquareMatchesSVT checks the square-ish route delegates to
+// the exact Dense.SVT arithmetic.
+func TestSVTWorkspaceSquareMatchesSVT(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := lowRankPlusNoise(rng, 40, 50, 4, 30, 0.1)
+	want, wantRank := m.SVT(2.0)
+	ws := NewSVTWorkspace()
+	got := NewDense(40, 50)
+	rank := ws.SVTInto(got, m, 2.0)
+	if rank != wantRank || !bitsEqual(got, want) {
+		t.Fatalf("square route: rank %d vs %d, bitwise match %v", rank, wantRank, bitsEqual(got, want))
+	}
+}
+
+// TestSVTWorkspaceWarmStart drives the workspace the way an RPCA solver
+// does — a sequence of slowly changing iterates — and checks (a) the
+// truncated route actually engages after the first call, and (b) its
+// output stays within subspace-iteration tolerance of the full SVT.
+func TestSVTWorkspaceWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	r, c := 48, 512
+	base := lowRankPlusNoise(rng, r, c, 4, 60, 0)
+	ws := NewSVTWorkspace()
+	got := NewDense(r, c)
+	for step := 0; step < 6; step++ {
+		m := base.Clone()
+		// Slowly drift the iterate, as solver continuation does.
+		drift := lowRankPlusNoise(rng, r, c, 4, 0.5*float64(step), 0.02)
+		m = m.Add(drift)
+		want, wantRank := m.SVT(5.0)
+		rank := ws.SVTInto(got, m, 5.0)
+		if rank != wantRank {
+			t.Fatalf("step %d: rank = %d, want %d", step, rank, wantRank)
+		}
+		diff := NormFroDiff(got, want)
+		if diff > 1e-6*math.Max(1, want.NormFrobenius()) {
+			t.Fatalf("step %d: truncated SVT off by %g (relative)", step,
+				diff/math.Max(1, want.NormFrobenius()))
+		}
+	}
+	full, trunc := ws.Stats()
+	if trunc == 0 {
+		t.Fatalf("warm-start sequence never used the truncated route (full=%d trunc=%d)", full, trunc)
+	}
+	if full != 1 {
+		t.Errorf("expected exactly one cold full SVT, got %d (trunc=%d)", full, trunc)
+	}
+}
+
+// TestSVTWorkspaceRankGrowth feeds a matrix whose rank jumps far past the
+// warm block: the workspace must detect the too-small subspace and still
+// return the right answer (growing the block or falling back to full).
+func TestSVTWorkspaceRankGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	r, c := 48, 512
+	ws := NewSVTWorkspace()
+	got := NewDense(r, c)
+
+	low := lowRankPlusNoise(rng, r, c, 2, 60, 0.01)
+	ws.SVTInto(got, low, 5.0) // cold call establishes warm state with rank≈2
+
+	high := lowRankPlusNoise(rng, r, c, 20, 60, 0.01)
+	want, wantRank := high.SVT(5.0)
+	rank := ws.SVTInto(got, high, 5.0)
+	if rank != wantRank {
+		t.Fatalf("rank growth: rank = %d, want %d", rank, wantRank)
+	}
+	if diff := NormFroDiff(got, want); diff > 1e-6*math.Max(1, want.NormFrobenius()) {
+		t.Fatalf("rank growth: result off by %g", diff)
+	}
+}
+
+// TestSVTWorkspaceZeroResult thresholds everything away: result must be
+// the zero matrix with rank 0, warm or cold.
+func TestSVTWorkspaceZeroResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	r, c := 20, 200
+	m := lowRankPlusNoise(rng, r, c, 3, 1, 0.01)
+	ws := NewSVTWorkspace()
+	got := NewDense(r, c)
+	for step := 0; step < 3; step++ {
+		if rank := ws.SVTInto(got, m, 1e9); rank != 0 {
+			t.Fatalf("step %d: rank = %d, want 0", step, rank)
+		}
+		for i, v := range got.data {
+			if v != 0 {
+				t.Fatalf("step %d: element %d = %g, want 0", step, i, v)
+			}
+		}
+	}
+}
+
+// TestSVTWorkspaceShapeRebind changes shape mid-stream; the workspace must
+// re-bind and forget warm state without corruption.
+func TestSVTWorkspaceShapeRebind(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	ws := NewSVTWorkspace()
+	for _, sh := range [][2]int{{24, 300}, {16, 128}, {24, 300}} {
+		r, c := sh[0], sh[1]
+		m := lowRankPlusNoise(rng, r, c, 3, 30, 0.05)
+		want, wantRank := m.SVT(2.0)
+		got := NewDense(r, c)
+		rank := ws.SVTInto(got, m, 2.0)
+		if rank != wantRank {
+			t.Fatalf("%dx%d: rank = %d, want %d", r, c, rank, wantRank)
+		}
+		if diff := NormFroDiff(got, want); diff > 1e-6*math.Max(1, want.NormFrobenius()) {
+			t.Fatalf("%dx%d: rebind result off by %g", r, c, diff)
+		}
+	}
+}
+
+// TestSVTWorkspaceParallelDeterminism: workspace results must be bitwise
+// identical at any parallelism, warm route included.
+func TestSVTWorkspaceParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	r, c := 48, 512
+	seq := make([]*Dense, 4)
+	par := make([]*Dense, 4)
+	iterates := make([]*Dense, 4)
+	for i := range iterates {
+		iterates[i] = lowRankPlusNoise(rng, r, c, 4, 60, 0.02)
+	}
+	run := func(dst []*Dense) {
+		ws := NewSVTWorkspace()
+		for i, m := range iterates {
+			dst[i] = NewDense(r, c)
+			ws.SVTInto(dst[i], m, 5.0)
+		}
+	}
+	withParallelism(1, func() { run(seq) })
+	withParallelism(8, func() { run(par) })
+	for i := range seq {
+		if !bitsEqual(seq[i], par[i]) {
+			t.Fatalf("iterate %d: SVTInto differs between 1 and 8 workers", i)
+		}
+	}
+}

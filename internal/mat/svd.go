@@ -129,8 +129,91 @@ func (m *Dense) svdGram() *SVDResult {
 	return &SVDResult{U: u, S: s, V: v}
 }
 
+// jacobiPairsTask rotates a set of disjoint column pairs of one
+// round-robin round. Pairs within a round touch disjoint column pairs of
+// both w and v, so chunks are bitwise independent and the parallel result
+// matches a sequential pass over the same round exactly.
+type jacobiPairsTask struct {
+	w, v  *Dense
+	pairs [][2]int
+	rot   []byte // rot[i] set to 1 iff pairs[i] was rotated
+	tol   float64
+}
+
+func (t *jacobiPairsTask) Run(lo, hi int) {
+	w, v := t.w, t.v
+	r, c := w.rows, w.cols
+	for pi := lo; pi < hi; pi++ {
+		p, q := t.pairs[pi][0], t.pairs[pi][1]
+		// Column inner products.
+		var app, aqq, apq float64
+		for i := 0; i < r; i++ {
+			wp := w.data[i*c+p]
+			wq := w.data[i*c+q]
+			app += wp * wp
+			aqq += wq * wq
+			apq += wp * wq
+		}
+		if math.Abs(apq) <= t.tol*math.Sqrt(app*aqq) {
+			continue
+		}
+		t.rot[pi] = 1
+		// Jacobi rotation angle that orthogonalizes columns p, q.
+		tau := (aqq - app) / (2 * apq)
+		var tt float64
+		if tau >= 0 {
+			tt = 1 / (tau + math.Sqrt(1+tau*tau))
+		} else {
+			tt = -1 / (-tau + math.Sqrt(1+tau*tau))
+		}
+		cs := 1 / math.Sqrt(1+tt*tt)
+		sn := tt * cs
+		for i := 0; i < r; i++ {
+			wp := w.data[i*c+p]
+			wq := w.data[i*c+q]
+			w.data[i*c+p] = cs*wp - sn*wq
+			w.data[i*c+q] = sn*wp + cs*wq
+		}
+		for i := 0; i < c; i++ {
+			vp := v.data[i*c+p]
+			vq := v.data[i*c+q]
+			v.data[i*c+p] = cs*vp - sn*vq
+			v.data[i*c+q] = sn*vp + cs*vq
+		}
+	}
+}
+
+// roundRobinPairs fills pairs with round k of the (n-1)-round tournament
+// schedule over players 0..n-1 (n even): every round pairs all players,
+// consecutive rounds rotate partners, and the n-1 rounds together cover
+// every unordered pair exactly once. Entries with a player >= limit are
+// byes from padding an odd limit and are skipped by the caller via p/q
+// ordering: each returned pair satisfies pair[0] < pair[1] < limit or is
+// marked {-1,-1}.
+func roundRobinPairs(pairs [][2]int, k, n, limit int) {
+	put := func(i int, a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		if b >= limit {
+			pairs[i] = [2]int{-1, -1}
+			return
+		}
+		pairs[i] = [2]int{a, b}
+	}
+	put(0, n-1, k%(n-1))
+	for i := 1; i < n/2; i++ {
+		a := (k + i) % (n - 1)
+		b := (k - i + n - 1) % (n - 1)
+		put(i, a, b)
+	}
+}
+
 // svdJacobi computes the thin SVD by one-sided Jacobi orthogonalization of
-// the columns of the (tall-or-square oriented) working matrix.
+// the columns of the (tall-or-square oriented) working matrix. Each sweep
+// is a round-robin tournament over the columns: the pairs of one round are
+// disjoint, so the round can be rotated in parallel with a bitwise result
+// identical to the sequential pass over the same schedule.
 func (m *Dense) svdJacobi() *SVDResult {
 	transposed := m.rows < m.cols
 	var w *Dense
@@ -144,49 +227,48 @@ func (m *Dense) svdJacobi() *SVDResult {
 	v := Eye(c)
 	const maxSweeps = 60
 	tol := 1e-15
-	for sweep := 0; sweep < maxSweeps; sweep++ {
-		rotated := false
-		for p := 0; p < c-1; p++ {
-			for q := p + 1; q < c; q++ {
-				// Column inner products.
-				var app, aqq, apq float64
-				for i := 0; i < r; i++ {
-					wp := w.data[i*c+p]
-					wq := w.data[i*c+q]
-					app += wp * wp
-					aqq += wq * wq
-					apq += wp * wq
+	n := c
+	if n%2 == 1 {
+		n++
+	}
+	if c > 1 {
+		pairs := make([][2]int, n/2)
+		rot := make([]byte, n/2)
+		t := jacobiPairsTask{w: w, v: v, pairs: pairs, rot: rot, tol: tol}
+		// Pair work: inner products + both rotations, ~(6r + 8r + 8c) flops.
+		pairWork := 14*r + 8*c
+		grain := maxInt(1, parMinWork/pairWork)
+		for sweep := 0; sweep < maxSweeps; sweep++ {
+			rotated := false
+			for k := 0; k < n-1; k++ {
+				roundRobinPairs(pairs, k, n, c)
+				// Compact out byes so chunks stay balanced.
+				np := 0
+				for _, pq := range pairs {
+					if pq[0] >= 0 {
+						pairs[np] = pq
+						np++
+					}
 				}
-				if math.Abs(apq) <= tol*math.Sqrt(app*aqq) {
-					continue
+				for i := 0; i < np; i++ {
+					rot[i] = 0
 				}
-				rotated = true
-				// Jacobi rotation angle that orthogonalizes columns p, q.
-				tau := (aqq - app) / (2 * apq)
-				var t float64
-				if tau >= 0 {
-					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				t.pairs = pairs[:np]
+				t.rot = rot[:np]
+				if parGate(np * pairWork) {
+					parallelFor(np, grain, &t)
 				} else {
-					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+					t.Run(0, np)
 				}
-				cs := 1 / math.Sqrt(1+t*t)
-				sn := t * cs
-				for i := 0; i < r; i++ {
-					wp := w.data[i*c+p]
-					wq := w.data[i*c+q]
-					w.data[i*c+p] = cs*wp - sn*wq
-					w.data[i*c+q] = sn*wp + cs*wq
-				}
-				for i := 0; i < c; i++ {
-					vp := v.data[i*c+p]
-					vq := v.data[i*c+q]
-					v.data[i*c+p] = cs*vp - sn*vq
-					v.data[i*c+q] = sn*vp + cs*vq
+				for i := 0; i < np; i++ {
+					if rot[i] != 0 {
+						rotated = true
+					}
 				}
 			}
-		}
-		if !rotated {
-			break
+			if !rotated {
+				break
+			}
 		}
 	}
 

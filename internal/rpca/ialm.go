@@ -1,9 +1,6 @@
 package rpca
 
 import (
-	"errors"
-	"math"
-
 	"netconstant/internal/mat"
 )
 
@@ -27,74 +24,8 @@ type IALMOptions struct {
 // in far fewer iterations than APG (each being one SVD), making it a
 // useful cross-check: two independent solvers agreeing on D and E is
 // strong evidence the decomposition is right.
+// Each call builds a throwaway Solver; hot paths should hold a Solver and
+// call its DecomposeIALM to reuse the arena and SVT warm state.
 func DecomposeIALM(a *mat.Dense, opts IALMOptions) (*Result, error) {
-	r, c := a.Dims()
-	if r == 0 || c == 0 {
-		return nil, errors.New("rpca: empty matrix")
-	}
-	if err := checkFinite(a); err != nil {
-		return nil, err
-	}
-	lambda := opts.Lambda
-	if lambda <= 0 {
-		lambda = 1 / math.Sqrt(float64(max(r, c)))
-	}
-	normA2 := a.NormSpectral()
-	if normA2 == 0 {
-		return &Result{D: mat.NewDense(r, c), E: mat.NewDense(r, c), Converged: true}, nil
-	}
-	mu := opts.Mu0
-	if mu <= 0 {
-		mu = 1.25 / normA2
-	}
-	muBar := mu * 1e7
-	rho := opts.Rho
-	if rho <= 1 {
-		rho = 1.5
-	}
-	tol := opts.Tol
-	if tol <= 0 {
-		tol = 1e-7
-	}
-	maxIter := opts.MaxIter
-	if maxIter <= 0 {
-		maxIter = 1000
-	}
-
-	normAF := a.NormFrobenius()
-	// Multiplier warm start: Y = A / max(‖A‖₂, ‖A‖∞/λ).
-	scale := math.Max(normA2, a.NormMax()/lambda)
-	y := a.Scale(1 / scale)
-	e := mat.NewDense(r, c)
-	var d *mat.Dense
-	res := &Result{}
-
-	for k := 0; k < maxIter; k++ {
-		// D-step: SVT of A − E + Y/μ at threshold 1/μ.
-		t := a.Sub(e)
-		t.AddInPlace(y.Scale(1 / mu))
-		var rank int
-		d, rank = t.SVT(1 / mu)
-
-		// E-step: soft threshold of A − D + Y/μ at λ/μ.
-		t = a.Sub(d)
-		t.AddInPlace(y.Scale(1 / mu))
-		e = t.SoftThreshold(lambda / mu)
-
-		// Multiplier and penalty updates.
-		z := a.Sub(d)
-		z.SubInPlace(e)
-		y.AddInPlace(z.Scale(mu))
-		mu = math.Min(rho*mu, muBar)
-
-		res.Iterations = k + 1
-		res.RankD = rank
-		if z.NormFrobenius() <= tol*math.Max(1, normAF) {
-			res.Converged = true
-			break
-		}
-	}
-	res.D = d
-	res.E = e
-	return res, nil
+	return NewSolver().DecomposeIALM(a, opts)
 }

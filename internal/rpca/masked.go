@@ -60,122 +60,9 @@ func checkFinite(a *mat.Dense) error {
 // structure interpolate the gap.
 //
 // A nil mask (or an all-ones mask) reduces to DecomposeIALM.
+//
+// Each call builds a throwaway Solver; hot paths should hold a Solver and
+// call its DecomposeMasked to reuse the arena and SVT warm state.
 func DecomposeMasked(a, mask *mat.Dense, opts IALMOptions) (*Result, error) {
-	if mask == nil {
-		return DecomposeIALM(a, opts)
-	}
-	r, c := a.Dims()
-	if r == 0 || c == 0 {
-		return nil, errors.New("rpca: empty matrix")
-	}
-	if mr, mc := mask.Dims(); mr != r || mc != c {
-		return nil, fmt.Errorf("rpca: mask dims %dx%d != data %dx%d", mr, mc, r, c)
-	}
-	if err := checkFinite(a); err != nil {
-		return nil, err
-	}
-
-	observed := func(i, j int) bool { return mask.At(i, j) > 0.5 }
-	// aObs = P_Ω(A); unobserved entries start at zero and are refreshed
-	// from D+E each iteration.
-	aObs := mat.NewDense(r, c)
-	nObs := 0
-	for i := 0; i < r; i++ {
-		for j := 0; j < c; j++ {
-			if observed(i, j) {
-				aObs.Set(i, j, a.At(i, j))
-				nObs++
-			}
-		}
-	}
-	if nObs == 0 {
-		return nil, ErrEmptyMask
-	}
-	if nObs == r*c {
-		return DecomposeIALM(a, opts)
-	}
-
-	lambda := opts.Lambda
-	if lambda <= 0 {
-		lambda = 1 / math.Sqrt(float64(max(r, c)))
-	}
-	normA2 := aObs.NormSpectral()
-	if normA2 == 0 {
-		return &Result{D: mat.NewDense(r, c), E: mat.NewDense(r, c), Converged: true}, nil
-	}
-	mu := opts.Mu0
-	if mu <= 0 {
-		mu = 1.25 / normA2
-	}
-	muBar := mu * 1e7
-	rho := opts.Rho
-	if rho <= 1 {
-		rho = 1.5
-	}
-	tol := opts.Tol
-	if tol <= 0 {
-		tol = 1e-7
-	}
-	maxIter := opts.MaxIter
-	if maxIter <= 0 {
-		maxIter = 1000
-	}
-
-	normAF := aObs.NormFrobenius()
-	scale := math.Max(normA2, aObs.NormMax()/lambda)
-	y := aObs.Scale(1 / scale)
-	e := mat.NewDense(r, c)
-	fill := aObs.Clone() // P_Ω(A) + P_Ωᶜ(D+E), refreshed per iteration
-	var d *mat.Dense
-	res := &Result{}
-
-	for k := 0; k < maxIter; k++ {
-		// D-step: SVT of Fill − E + Y/μ at threshold 1/μ.
-		t := fill.Sub(e)
-		t.AddInPlace(y.Scale(1 / mu))
-		var rank int
-		d, rank = t.SVT(1 / mu)
-
-		// E-step: soft threshold of Fill − D + Y/μ at λ/μ, confined to Ω.
-		t = fill.Sub(d)
-		t.AddInPlace(y.Scale(1 / mu))
-		e = t.SoftThreshold(lambda / mu)
-		e.Apply(func(i, j int, v float64) float64 {
-			if observed(i, j) {
-				return v
-			}
-			return 0
-		})
-
-		// Residual and multiplier updates on observed entries only.
-		z := mat.NewDense(r, c)
-		for i := 0; i < r; i++ {
-			for j := 0; j < c; j++ {
-				if observed(i, j) {
-					z.Set(i, j, aObs.At(i, j)-d.At(i, j)-e.At(i, j))
-				}
-			}
-		}
-		y.AddInPlace(z.Scale(mu))
-		mu = math.Min(rho*mu, muBar)
-
-		// Refresh the unobserved fill from the current completion.
-		for i := 0; i < r; i++ {
-			for j := 0; j < c; j++ {
-				if !observed(i, j) {
-					fill.Set(i, j, d.At(i, j)+e.At(i, j))
-				}
-			}
-		}
-
-		res.Iterations = k + 1
-		res.RankD = rank
-		if z.NormFrobenius() <= tol*math.Max(1, normAF) {
-			res.Converged = true
-			break
-		}
-	}
-	res.D = d
-	res.E = e
-	return res, nil
+	return NewSolver().DecomposeMasked(a, mask, opts)
 }

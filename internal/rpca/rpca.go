@@ -52,7 +52,20 @@ type Result struct {
 
 // Decompose runs APG RPCA on a. The input is not modified. Inputs with
 // NaN/Inf entries are rejected with an error unwrapping to ErrNonFinite.
+//
+// Each call builds a throwaway Solver; callers decomposing many
+// same-shaped matrices should hold a Solver and call its Decompose to
+// reuse the iteration arena and the warm-started SVT workspace.
 func Decompose(a *mat.Dense, opts Options) (*Result, error) {
+	return NewSolver().Decompose(a, opts)
+}
+
+// DecomposeFullSVT is the reference APG implementation kept for ablation
+// benchmarking (cmd/rpcabench) and cross-checking: it allocates every
+// intermediate per iteration and computes a full SVD per SVT, exactly as
+// the solver did before the arena/truncated-SVT rewrite. Production code
+// should use Decompose or a Solver.
+func DecomposeFullSVT(a *mat.Dense, opts Options) (*Result, error) {
 	r, c := a.Dims()
 	if r == 0 || c == 0 {
 		return nil, errors.New("rpca: empty matrix")
@@ -68,7 +81,6 @@ func Decompose(a *mat.Dense, opts Options) (*Result, error) {
 	if mu <= 0 {
 		mu = 0.99 * a.NormSpectral()
 		if mu == 0 {
-			// A is the zero matrix: D = E = 0 is exact.
 			return &Result{D: mat.NewDense(r, c), E: mat.NewDense(r, c), Converged: true}, nil
 		}
 	}

@@ -1,0 +1,140 @@
+package stats
+
+// Regression tests for the edge-case panics fixed in the stats layer:
+//   - CDF.Points(1) divided by k-1 == 0 before its single-point guard ran;
+//   - NewHistogram(xs, nbins) called make([]int, nbins) with negative nbins
+//     and folded NaN samples into min/max, poisoning every bin index;
+//   - Quantile(sorted, NaN) fell through both clamp branches and indexed
+//     the sample with a garbage truncated-NaN position.
+// Each test panicked (or indexed out of range) on the seed implementation.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCDFPointsSinglePoint(t *testing.T) {
+	cases := []struct {
+		name   string
+		sample []float64
+		want   [2]float64
+	}{
+		{"several observations", []float64{3, 1, 2}, [2]float64{3, 1}},
+		{"one observation", []float64{7}, [2]float64{7, 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pts := NewCDF(c.sample).Points(1)
+			if len(pts) != 1 {
+				t.Fatalf("Points(1) returned %d points, want 1", len(pts))
+			}
+			if pts[0] != c.want {
+				t.Errorf("Points(1) = %v, want %v", pts[0], c.want)
+			}
+		})
+	}
+	if pts := NewCDF(nil).Points(1); pts != nil {
+		t.Errorf("empty CDF Points(1) = %v, want nil", pts)
+	}
+}
+
+func TestCDFPointsCoverage(t *testing.T) {
+	// Points(k) for k in [1, n] must always start from a valid index and
+	// end at the sample maximum with cumulative probability 1.
+	sample := []float64{5, 1, 4, 2, 3, 9, 8, 7, 6, 0}
+	c := NewCDF(sample)
+	for k := 1; k <= len(sample)+3; k++ {
+		pts := c.Points(k)
+		want := k
+		if want > len(sample) {
+			want = len(sample)
+		}
+		if len(pts) != want {
+			t.Fatalf("Points(%d) returned %d points, want %d", k, len(pts), want)
+		}
+		last := pts[len(pts)-1]
+		if last[0] != 9 || last[1] != 1 {
+			t.Errorf("Points(%d) last = %v, want [9 1]", k, last)
+		}
+	}
+}
+
+func TestNewHistogramEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		xs     []float64
+		nbins  int
+		counts []int
+	}{
+		{"negative nbins", []float64{1, 2, 3}, -4, []int{}},
+		{"negative nbins empty sample", nil, -1, []int{}},
+		{"zero nbins", []float64{1, 2, 3}, 0, []int{}},
+		{"all NaN", []float64{nan, nan}, 3, []int{0, 0, 0}},
+		{"NaN-laced sample", []float64{nan, 0, nan, 1, 2, 3, nan}, 2, []int{2, 2}},
+		{"inf-laced sample", []float64{math.Inf(1), 0, 1, math.Inf(-1)}, 2, []int{1, 1}},
+		{"single repeated value with NaN", []float64{nan, 5, 5}, 4, []int{2, 0, 0, 0}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := NewHistogram(c.xs, c.nbins)
+			if len(h.Counts) != len(c.counts) {
+				t.Fatalf("Counts length %d, want %d", len(h.Counts), len(c.counts))
+			}
+			for i, want := range c.counts {
+				if h.Counts[i] != want {
+					t.Errorf("Counts[%d] = %d, want %d (full: %v)", i, h.Counts[i], want, h.Counts)
+				}
+			}
+		})
+	}
+	// The NaN-laced range must come from the finite samples only.
+	h := NewHistogram([]float64{nan, 2, 8, nan}, 2)
+	if h.Min != 2 || h.Max != 8 {
+		t.Errorf("NaN-laced histogram range [%v, %v], want [2, 8]", h.Min, h.Max)
+	}
+}
+
+func TestQuantileNaN(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	if got := Quantile(sorted, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(sorted, NaN) = %v, want NaN", got)
+	}
+	// Single-element and empty samples keep their existing contract.
+	if got := Quantile([]float64{7}, math.NaN()); got != 7 {
+		t.Errorf("Quantile([7], NaN) = %v, want 7", got)
+	}
+	if got := Quantile(nil, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(nil, NaN) = %v, want NaN", got)
+	}
+	// The fix must not disturb ordinary quantiles.
+	if got := Quantile(sorted, 0.5); got != 2.5 {
+		t.Errorf("Quantile(sorted, 0.5) = %v, want 2.5", got)
+	}
+}
+
+func FuzzQuantile(f *testing.F) {
+	f.Add(0.5, 1.0, 2.0, 3.0)
+	f.Add(math.NaN(), 0.0, 0.0, 0.0)
+	f.Add(-1.5, 9.0, -4.0, 2.5)
+	f.Add(2.0, 1.0, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, q, a, b, c float64) {
+		xs := []float64{a, b, c}
+		// Quantile requires sorted input; NaN-laced samples are allowed to
+		// produce NaN but must never panic.
+		sorted := append([]float64(nil), xs...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		got := Quantile(sorted, q)
+		if math.IsNaN(got) {
+			return
+		}
+		lo, hi := sorted[0], sorted[len(sorted)-1]
+		if !math.IsNaN(lo) && !math.IsNaN(hi) && (got < math.Min(lo, hi) || got > math.Max(lo, hi)) {
+			t.Errorf("Quantile(%v, %v) = %v outside sample range", sorted, q, got)
+		}
+	})
+}

@@ -53,7 +53,8 @@ func Summarize(xs []float64) Summary {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
-// sample using linear interpolation between order statistics.
+// sample using linear interpolation between order statistics. A NaN q has
+// no defined order statistic and yields NaN.
 func Quantile(sorted []float64, q float64) float64 {
 	n := len(sorted)
 	if n == 0 {
@@ -61,6 +62,9 @@ func Quantile(sorted []float64, q float64) float64 {
 	}
 	if n == 1 {
 		return sorted[0]
+	}
+	if math.IsNaN(q) {
+		return math.NaN()
 	}
 	if q <= 0 {
 		return sorted[0]
@@ -162,9 +166,9 @@ func (c *CDF) Points(k int) [][2]float64 {
 	}
 	out := make([][2]float64, 0, k)
 	for i := 0; i < k; i++ {
-		idx := i * (n - 1) / (k - 1)
-		if k == 1 {
-			idx = n - 1
+		idx := n - 1
+		if k > 1 {
+			idx = i * (n - 1) / (k - 1)
 		}
 		out = append(out, [2]float64{c.sorted[idx], float64(idx+1) / float64(n)})
 	}
@@ -180,27 +184,47 @@ type Histogram struct {
 	Counts   []int
 }
 
-// NewHistogram bins xs into nbins equal-width bins spanning the sample range.
+// NewHistogram bins xs into nbins equal-width bins spanning the sample
+// range. A non-positive nbins yields an empty histogram. Non-finite samples
+// (NaN, ±Inf) carry no binnable magnitude and are ignored; if no finite
+// sample remains the histogram is empty.
 func NewHistogram(xs []float64, nbins int) Histogram {
+	if nbins < 0 {
+		nbins = 0
+	}
 	h := Histogram{Counts: make([]int, nbins)}
-	if len(xs) == 0 || nbins == 0 {
+	if nbins == 0 {
 		return h
 	}
-	h.Min, h.Max = xs[0], xs[0]
+	finite := 0
 	for _, x := range xs {
-		if x < h.Min {
-			h.Min = x
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
 		}
-		if x > h.Max {
-			h.Max = x
+		if finite == 0 {
+			h.Min, h.Max = x, x
+		} else {
+			if x < h.Min {
+				h.Min = x
+			}
+			if x > h.Max {
+				h.Max = x
+			}
 		}
+		finite++
+	}
+	if finite == 0 {
+		return h
 	}
 	width := (h.Max - h.Min) / float64(nbins)
 	if width == 0 {
-		h.Counts[0] = len(xs)
+		h.Counts[0] = finite
 		return h
 	}
 	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
 		i := int((x - h.Min) / width)
 		if i >= nbins {
 			i = nbins - 1
