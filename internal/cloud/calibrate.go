@@ -421,6 +421,31 @@ type TemporalCalibration struct {
 	Mask *mat.Dense
 }
 
+// Clone deep-copies the calibration, so a cached trace can be handed to
+// multiple consumers without sharing mutable state.
+func (tc *TemporalCalibration) Clone() *TemporalCalibration {
+	if tc == nil {
+		return nil
+	}
+	out := &TemporalCalibration{
+		Latency:   tc.Latency.Clone(),
+		Bandwidth: tc.Bandwidth.Clone(),
+		TotalCost: tc.TotalCost,
+	}
+	if tc.Steps != nil {
+		out.Steps = make([]*Calibration, len(tc.Steps))
+		for i, cal := range tc.Steps {
+			c := *cal
+			c.Perf = cal.Perf.Clone()
+			out.Steps[i] = &c
+		}
+	}
+	if tc.Mask != nil {
+		out.Mask = tc.Mask.Clone()
+	}
+	return out
+}
+
 // Coverage returns the observed fraction of the TP-matrix's off-diagonal
 // cells (1 when no mask was recorded).
 func (tc *TemporalCalibration) Coverage() float64 {

@@ -1,0 +1,211 @@
+package cloud
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CalibrationKey identifies a calibration trace by its measurement
+// provenance: the provider that generated the cluster, the cluster size
+// and provisioning seed, the measuring rng's seed, and the full
+// measurement procedure (steps, gap, CalibrationConfig). Two calibrations
+// with equal keys are deterministic replicas of each other, so one
+// measured trace can stand in for all of them. Parameters that do not
+// affect the measurement — maintenance thresholds, extraction methods,
+// solver options — deliberately stay out of the key.
+type CalibrationKey struct {
+	Provider ProviderConfig
+	N        int
+	ProvSeed int64
+	RNGSeed  int64
+	Steps    int
+	Gap      float64
+	Cal      CalibrationConfig
+}
+
+// CalibrationMemo is a size-bounded, thread-safe LRU cache of calibration
+// traces. Identical (provider, size, seeds, procedure) tuples are measured
+// once per driver run; later requests replay the cached trace. Get and
+// GetOrCompute return deep clones, so callers can hand the trace to an
+// advisor (which keeps and may inspect it) without sharing state.
+//
+// Fault- and regime-change experiments that mutate the substrate between
+// calibrations must Invalidate their key (or InvalidateAll) before
+// re-calibrating, or they would replay the pre-fault trace.
+type CalibrationMemo struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List // front = most recent; values are *memoEntry
+	byK map[CalibrationKey]*list.Element
+
+	hits, misses int
+	// inflight serializes concurrent computations of the same key so a
+	// parallel sweep computes each trace once instead of once per worker.
+	inflight map[CalibrationKey]*sync.Once
+	results  map[CalibrationKey]*memoResult
+}
+
+type memoEntry struct {
+	key CalibrationKey
+	tc  *TemporalCalibration
+}
+
+type memoResult struct {
+	tc  *TemporalCalibration
+	err error
+}
+
+// MemoStats reports cache effectiveness.
+type MemoStats struct {
+	Hits, Misses, Entries int
+}
+
+// NewCalibrationMemo creates a memo holding at most capacity traces
+// (capacity <= 0 selects a default of 64).
+func NewCalibrationMemo(capacity int) *CalibrationMemo {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &CalibrationMemo{
+		cap:      capacity,
+		lru:      list.New(),
+		byK:      map[CalibrationKey]*list.Element{},
+		inflight: map[CalibrationKey]*sync.Once{},
+		results:  map[CalibrationKey]*memoResult{},
+	}
+}
+
+// Get returns a deep clone of the cached trace for key, or nil.
+func (m *CalibrationMemo) Get(key CalibrationKey) *TemporalCalibration {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byK[key]; ok {
+		m.lru.MoveToFront(el)
+		m.hits++
+		return el.Value.(*memoEntry).tc.Clone()
+	}
+	m.misses++
+	return nil
+}
+
+// Put stores a deep clone of tc under key, evicting the least recently
+// used entry when full.
+func (m *CalibrationMemo) Put(key CalibrationKey, tc *TemporalCalibration) {
+	if m == nil || tc == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.put(key, tc.Clone())
+}
+
+func (m *CalibrationMemo) put(key CalibrationKey, tc *TemporalCalibration) {
+	if el, ok := m.byK[key]; ok {
+		el.Value.(*memoEntry).tc = tc
+		m.lru.MoveToFront(el)
+		return
+	}
+	m.byK[key] = m.lru.PushFront(&memoEntry{key: key, tc: tc})
+	for m.lru.Len() > m.cap {
+		oldest := m.lru.Back()
+		m.lru.Remove(oldest)
+		delete(m.byK, oldest.Value.(*memoEntry).key)
+	}
+}
+
+// GetOrCompute returns a deep clone of the trace for key, calling compute
+// (and caching its result) on the first request. Concurrent requests for
+// the same key block on a single computation; distinct keys compute
+// concurrently. A compute error is returned to every waiter and nothing
+// is cached, so the next request retries.
+func (m *CalibrationMemo) GetOrCompute(key CalibrationKey, compute func() (*TemporalCalibration, error)) (*TemporalCalibration, error) {
+	if m == nil {
+		return compute()
+	}
+	m.mu.Lock()
+	if el, ok := m.byK[key]; ok {
+		m.lru.MoveToFront(el)
+		m.hits++
+		tc := el.Value.(*memoEntry).tc.Clone()
+		m.mu.Unlock()
+		return tc, nil
+	}
+	once, ok := m.inflight[key]
+	if !ok {
+		once = &sync.Once{}
+		m.inflight[key] = once
+	}
+	m.mu.Unlock()
+
+	once.Do(func() {
+		tc, err := compute()
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.misses++
+		if err == nil {
+			m.put(key, tc.Clone())
+		}
+		m.results[key] = &memoResult{tc: tc, err: err}
+		delete(m.inflight, key)
+	})
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r, ok := m.results[key]; ok && r.err != nil {
+		// Leave the error visible to every waiter of this round; the entry
+		// is not cached so a later GetOrCompute retries from scratch.
+		return nil, r.err
+	}
+	if el, ok := m.byK[key]; ok {
+		return el.Value.(*memoEntry).tc.Clone(), nil
+	}
+	if r, ok := m.results[key]; ok {
+		// Cached result was evicted between compute and this lookup (tiny
+		// capacity); fall back to the computation's own copy.
+		return r.tc.Clone(), nil
+	}
+	return nil, nil
+}
+
+// Invalidate drops the entry for key (e.g. after injecting a fault into
+// the substrate the key describes). It reports whether an entry existed.
+func (m *CalibrationMemo) Invalidate(key CalibrationKey) bool {
+	if m == nil {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.results, key)
+	el, ok := m.byK[key]
+	if !ok {
+		return false
+	}
+	m.lru.Remove(el)
+	delete(m.byK, key)
+	return true
+}
+
+// InvalidateAll empties the memo.
+func (m *CalibrationMemo) InvalidateAll() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lru.Init()
+	m.byK = map[CalibrationKey]*list.Element{}
+	m.results = map[CalibrationKey]*memoResult{}
+}
+
+// Stats returns hit/miss counters and the current entry count.
+func (m *CalibrationMemo) Stats() MemoStats {
+	if m == nil {
+		return MemoStats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemoStats{Hits: m.hits, Misses: m.misses, Entries: m.lru.Len()}
+}

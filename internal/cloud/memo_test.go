@@ -1,0 +1,189 @@
+package cloud
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"netconstant/internal/stats"
+	"netconstant/internal/topo"
+)
+
+func memoKey(n int, seed int64) CalibrationKey {
+	return CalibrationKey{
+		Provider: ProviderConfig{Tree: topo.TreeConfig{Racks: 4, ServersPerRack: 4}, Seed: seed},
+		N:        n, ProvSeed: seed + 1, RNGSeed: seed + 2, Steps: 3, Gap: 5,
+	}
+}
+
+func measureFor(t *testing.T, key CalibrationKey) *TemporalCalibration {
+	t.Helper()
+	p := NewProvider(key.Provider)
+	vc, err := p.Provision(key.N, key.ProvSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CalibrateTP(vc, stats.NewRNG(key.RNGSeed), key.Steps, key.Gap, key.Cal)
+}
+
+// TestMemoHitReturnsEqualTrace: a hit replays the same trace (equal
+// matrices and cost) through an independent deep copy.
+func TestMemoHitReturnsEqualTrace(t *testing.T) {
+	m := NewCalibrationMemo(4)
+	key := memoKey(6, 100)
+	computes := 0
+	compute := func() (*TemporalCalibration, error) {
+		computes++
+		return measureFor(t, key), nil
+	}
+	a, err := m.GetOrCompute(key, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.GetOrCompute(key, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1", computes)
+	}
+	if a == b || a.Bandwidth == b.Bandwidth {
+		t.Fatal("hits must return independent clones")
+	}
+	if a.TotalCost != b.TotalCost {
+		t.Fatalf("costs differ: %v vs %v", a.TotalCost, b.TotalCost)
+	}
+	am, bm := a.Bandwidth.Matrix(), b.Bandwidth.Matrix()
+	for i := 0; i < am.Rows(); i++ {
+		for j := 0; j < am.Cols(); j++ {
+			if am.At(i, j) != bm.At(i, j) {
+				t.Fatalf("bandwidth differs at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Mutating one clone must not leak into the cache.
+	b.Bandwidth.Matrix().Set(0, 1, -1)
+	c := m.Get(key)
+	if c.Bandwidth.Matrix().At(0, 1) == -1 {
+		t.Fatal("clone mutation leaked into the cached trace")
+	}
+	st := m.Stats()
+	if st.Hits < 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestMemoConcurrentSingleFlight: concurrent requests for one key share a
+// single computation.
+func TestMemoConcurrentSingleFlight(t *testing.T) {
+	m := NewCalibrationMemo(4)
+	key := memoKey(6, 200)
+	var mu sync.Mutex
+	computes := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := m.GetOrCompute(key, func() (*TemporalCalibration, error) {
+				mu.Lock()
+				computes++
+				mu.Unlock()
+				return measureFor(t, key), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("computed %d times under concurrency, want 1", computes)
+	}
+}
+
+// TestMemoInvalidate: invalidation forces a fresh computation; errors are
+// not cached.
+func TestMemoInvalidate(t *testing.T) {
+	m := NewCalibrationMemo(4)
+	key := memoKey(6, 300)
+	computes := 0
+	compute := func() (*TemporalCalibration, error) {
+		computes++
+		return measureFor(t, key), nil
+	}
+	if _, err := m.GetOrCompute(key, compute); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Invalidate(key) {
+		t.Fatal("Invalidate should report an existing entry")
+	}
+	if m.Invalidate(key) {
+		t.Fatal("second Invalidate should find nothing")
+	}
+	if _, err := m.GetOrCompute(key, compute); err != nil {
+		t.Fatal(err)
+	}
+	if computes != 2 {
+		t.Fatalf("computed %d times, want 2 after invalidation", computes)
+	}
+
+	boom := errors.New("probe storm")
+	k2 := memoKey(6, 301)
+	if _, err := m.GetOrCompute(k2, func() (*TemporalCalibration, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want compute error", err)
+	}
+	if _, err := m.GetOrCompute(k2, compute); err != nil {
+		t.Fatalf("error must not be cached: %v", err)
+	}
+
+	m.InvalidateAll()
+	if st := m.Stats(); st.Entries != 0 {
+		t.Fatalf("entries after InvalidateAll: %d", st.Entries)
+	}
+}
+
+// TestMemoLRUBound: the memo never holds more than its capacity and
+// evicts least-recently-used keys first.
+func TestMemoLRUBound(t *testing.T) {
+	m := NewCalibrationMemo(2)
+	tc := measureFor(t, memoKey(4, 400))
+	k1, k2, k3 := memoKey(4, 401), memoKey(4, 402), memoKey(4, 403)
+	m.Put(k1, tc)
+	m.Put(k2, tc)
+	if m.Get(k1) == nil { // touch k1 so k2 is the LRU
+		t.Fatal("k1 missing")
+	}
+	m.Put(k3, tc)
+	if st := m.Stats(); st.Entries != 2 {
+		t.Fatalf("entries %d, want 2", st.Entries)
+	}
+	if m.Get(k2) != nil {
+		t.Fatal("k2 should have been evicted as LRU")
+	}
+	if m.Get(k1) == nil || m.Get(k3) == nil {
+		t.Fatal("k1 and k3 should survive")
+	}
+}
+
+// TestTemporalCalibrationClone covers the deep copy itself, including the
+// resilient-mode mask and per-step calibrations.
+func TestTemporalCalibrationClone(t *testing.T) {
+	key := memoKey(6, 500)
+	key.Cal = CalibrationConfig{Resilient: true, DropProb: 0.3}
+	tc := measureFor(t, key)
+	if tc.Mask == nil {
+		t.Fatal("resilient calibration should carry a mask")
+	}
+	cl := tc.Clone()
+	if cl.Mask == tc.Mask || cl.Latency == tc.Latency || cl.Steps[0] == tc.Steps[0] || cl.Steps[0].Perf == tc.Steps[0].Perf {
+		t.Fatal("clone shares state")
+	}
+	if cl.TotalCost != tc.TotalCost || len(cl.Steps) != len(tc.Steps) {
+		t.Fatal("clone differs")
+	}
+	cl.Mask.Set(0, 0, 99)
+	if tc.Mask.At(0, 0) == 99 {
+		t.Fatal("mask mutation leaked")
+	}
+}

@@ -19,21 +19,64 @@ type Timer struct {
 	seq       int64
 	fn        func()
 	cancelled bool
-	index     int // heap index
+	index     int // heap index; -1 once popped
+	eng       *Engine
 }
 
 // Cancel suppresses the timer's callback. Cancelling an already-fired or
-// already-cancelled timer is a no-op.
-func (t *Timer) Cancel() { t.cancelled = true }
+// already-cancelled timer is a no-op. A cancelled timer stays in the
+// engine's queue until it would fire or until the engine compacts the
+// queue, whichever comes first.
+func (t *Timer) Cancel() {
+	if t.cancelled {
+		return
+	}
+	t.cancelled = true
+	if t.eng != nil && t.index >= 0 {
+		t.eng.nCancelled++
+		t.eng.maybeCompact()
+	}
+}
 
 // At returns the simulated time the timer is scheduled for.
 func (t *Timer) At() float64 { return t.at }
 
 // Engine is a discrete-event scheduler with a virtual clock.
 type Engine struct {
-	now float64
-	seq int64
-	q   timerHeap
+	now        float64
+	seq        int64
+	q          timerHeap
+	nCancelled int // cancelled timers still sitting in q
+}
+
+// compactMinLen is the queue size below which compaction is not worth the
+// rebuild; lazy pop-time draining handles small queues fine.
+const compactMinLen = 64
+
+// maybeCompact rebuilds the heap without its cancelled entries once they
+// make up more than half of a non-trivial queue. Long background-traffic
+// runs cancel and reschedule completion timers on every rate change, so
+// without this the queue grows with the cancellation rate rather than
+// with the number of live flows.
+func (e *Engine) maybeCompact() {
+	if len(e.q) < compactMinLen || 2*e.nCancelled <= len(e.q) {
+		return
+	}
+	live := e.q[:0]
+	for _, t := range e.q {
+		if t.cancelled {
+			t.index = -1
+		} else {
+			t.index = len(live)
+			live = append(live, t)
+		}
+	}
+	for i := len(live); i < len(e.q); i++ {
+		e.q[i] = nil
+	}
+	e.q = live
+	heap.Init(&e.q) // Swap refreshes every surviving index
+	e.nCancelled = 0
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -52,7 +95,7 @@ func (e *Engine) Schedule(at float64, fn func()) *Timer {
 	if math.IsNaN(at) {
 		panic("des: scheduling event at NaN")
 	}
-	t := &Timer{at: at, seq: e.seq, fn: fn}
+	t := &Timer{at: at, seq: e.seq, fn: fn, eng: e}
 	e.seq++
 	heap.Push(&e.q, t)
 	return t
@@ -69,6 +112,7 @@ func (e *Engine) Step() bool {
 	for e.q.Len() > 0 {
 		t := heap.Pop(&e.q).(*Timer)
 		if t.cancelled {
+			e.nCancelled--
 			continue
 		}
 		e.now = t.at
@@ -115,6 +159,7 @@ func (e *Engine) peek() *Timer {
 		t := e.q[0]
 		if t.cancelled {
 			heap.Pop(&e.q)
+			e.nCancelled--
 			continue
 		}
 		return t
@@ -147,6 +192,7 @@ func (h *timerHeap) Pop() any {
 	n := len(old)
 	t := old[n-1]
 	old[n-1] = nil
+	t.index = -1
 	*h = old[:n-1]
 	return t
 }

@@ -181,3 +181,83 @@ func TestPropertyEventOrdering(t *testing.T) {
 		}
 	}
 }
+
+// Churning Schedule/Cancel must not grow the queue with the number of
+// cancellations: compaction keeps the heap proportional to the live
+// timer count. This is the pattern the flow simulator produces — every
+// rate change cancels and reschedules completion timers.
+func TestCancelChurnBoundsHeap(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(7))
+	var live []*Timer
+	const rounds = 20000
+	maxLen := 0
+	for i := 0; i < rounds; i++ {
+		live = append(live, e.After(1+rng.Float64()*100, func() {}))
+		// Cancel-and-replace an existing timer most of the time, keeping
+		// roughly a constant live population under heavy churn.
+		for len(live) > 50 {
+			j := rng.Intn(len(live))
+			live[j].Cancel()
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if len(e.q) > maxLen {
+			maxLen = len(e.q)
+		}
+		if e.nCancelled > len(e.q) {
+			t.Fatalf("round %d: cancelled counter %d exceeds queue %d", i, e.nCancelled, len(e.q))
+		}
+	}
+	// 50 live timers; the >50% cancelled trigger with the compactMinLen
+	// floor bounds the queue at max(2*live, compactMinLen)+1 between
+	// compactions.
+	bound := 2*(len(live)+1) + compactMinLen
+	if maxLen > bound {
+		t.Fatalf("heap grew to %d (live %d, bound %d): compaction not keeping up", maxLen, len(live), bound)
+	}
+	if maxLen >= rounds/2 {
+		t.Fatalf("heap length %d scales with churn count %d", maxLen, rounds)
+	}
+	if got := e.Pending(); got != len(e.q)-e.nCancelled {
+		t.Fatalf("Pending %d disagrees with len(q)-nCancelled %d", got, len(e.q)-e.nCancelled)
+	}
+	// The engine must still fire exactly the surviving timers, in order.
+	n := 0
+	for e.Step() {
+		n++
+	}
+	if n != len(live) {
+		t.Fatalf("fired %d events, want %d live", n, len(live))
+	}
+	if e.nCancelled != 0 || len(e.q) != 0 {
+		t.Fatalf("drained engine left q=%d cancelled=%d", len(e.q), e.nCancelled)
+	}
+}
+
+// Cancelling a timer that already fired (or was already discarded by a
+// pop) must not corrupt the cancelled-entry counter.
+func TestCancelAfterFireKeepsCounterSane(t *testing.T) {
+	e := NewEngine()
+	var fired *Timer
+	fired = e.After(1, func() {})
+	e.Run()
+	fired.Cancel() // after fire: index is -1, must not count
+	fired.Cancel() // double cancel: no-op
+	if e.nCancelled != 0 {
+		t.Fatalf("nCancelled = %d after cancelling fired timer, want 0", e.nCancelled)
+	}
+	// A cancelled-then-popped timer decrements the counter exactly once.
+	tm := e.After(1, func() {})
+	tm.Cancel()
+	tm.Cancel()
+	if e.nCancelled != 1 {
+		t.Fatalf("nCancelled = %d after double cancel, want 1", e.nCancelled)
+	}
+	if e.Step() {
+		t.Fatal("cancelled timer fired")
+	}
+	if e.nCancelled != 0 {
+		t.Fatalf("nCancelled = %d after drain, want 0", e.nCancelled)
+	}
+}

@@ -38,6 +38,18 @@ type Config struct {
 	SimVMs            int
 	// MigrationRate is VM migrations per VM per day.
 	MigrationRate float64
+	// Workers bounds how many sweep points run concurrently (0 =
+	// GOMAXPROCS). Output tables are byte-identical at any setting.
+	Workers int
+	// Memo, when non-nil, caches calibration traces across figures:
+	// identical (provider config, cluster size, seeds, calibration
+	// procedure) tuples are measured once per driver run and replayed.
+	// With a memo the calibration is always measured on a throwaway
+	// identically seeded replica — cache hits and misses are
+	// indistinguishable, so results stay deterministic at any worker
+	// count (they differ from Memo=nil runs, whose calibration consumes
+	// the environment's own rng and cluster streams).
+	Memo *cloud.CalibrationMemo
 }
 
 // Quick returns a configuration sized for tests and laptops.
@@ -93,20 +105,71 @@ func newEnv(cfg Config, n int, seedOffset int64) (*env, error) {
 // newEnvWith is newEnv with provider overrides (tree, seed and migration
 // rate are still filled from cfg).
 func newEnvWith(cfg Config, n int, seedOffset int64, pc cloud.ProviderConfig) (*env, error) {
+	return newEnvAdv(cfg, n, seedOffset, pc, core.AdvisorConfig{TimeStep: cfg.TimeStep})
+}
+
+// newEnvAdv is the general entry point: provider overrides plus an
+// advisor configuration (so figures sweeping advisor parameters pay for
+// a single calibration instead of calibrating a throwaway advisor
+// first). When cfg.Memo is set, the initial calibration goes through the
+// calibration-trace memo: identical (provider config, size, seeds,
+// calibration config) tuples are measured once per driver run.
+func newEnvAdv(cfg Config, n int, seedOffset int64, pc cloud.ProviderConfig, advCfg core.AdvisorConfig) (*env, error) {
 	pc.Tree = topo.TreeConfig{Racks: cfg.Racks, ServersPerRack: cfg.ServersPerRack}
 	pc.Seed = cfg.Seed + seedOffset
 	pc.MigrationRate = cfg.MigrationRate
+	if advCfg.TimeStep == 0 {
+		advCfg.TimeStep = cfg.TimeStep
+	}
 	p := cloud.NewProvider(pc)
 	vc, err := p.Provision(n, cfg.Seed+seedOffset+1)
 	if err != nil {
 		return nil, err
 	}
 	rng := stats.NewRNG(cfg.Seed + seedOffset + 2)
-	adv := core.NewAdvisor(vc, rng, core.AdvisorConfig{TimeStep: cfg.TimeStep})
-	if err := adv.Calibrate(); err != nil {
+	adv := core.NewAdvisor(vc, rng, advCfg)
+	if err := calibrateEnv(cfg, n, seedOffset, pc, advCfg, vc, adv); err != nil {
 		return nil, err
 	}
 	return &env{cfg: cfg, provider: p, cluster: vc, advisor: adv, rng: rng}, nil
+}
+
+// calibrateEnv runs the advisor's initial calibration. Without a memo it
+// measures the environment's own cluster (the advisor's normal path).
+// With one, the trace is fetched from the memo — measured on first use
+// against a throwaway replica provisioned from the same provider config
+// and seeds, so every requester (hit or miss) sees the identical trace
+// and leaves its own rng/cluster streams untouched — then installed via
+// AnalyzeCalibration, with the cluster clock advanced by the measurement
+// cost it would have paid. Maintenance re-calibrations (Advisor.Calibrate
+// from Observe/Maintain) still measure the live, evolved cluster and
+// never consult the memo; experiments that mutate the substrate under a
+// previously memoized key must call Memo.Invalidate.
+func calibrateEnv(cfg Config, n int, seedOffset int64, pc cloud.ProviderConfig, advCfg core.AdvisorConfig, vc *cloud.VirtualCluster, adv *core.Advisor) error {
+	if cfg.Memo == nil {
+		return adv.Calibrate()
+	}
+	key := cloud.CalibrationKey{
+		Provider: pc,
+		N:        n,
+		ProvSeed: cfg.Seed + seedOffset + 1,
+		RNGSeed:  cfg.Seed + seedOffset + 2,
+		Steps:    advCfg.TimeStep,
+		Gap:      advCfg.Gap,
+		Cal:      advCfg.Calibration,
+	}
+	tc, err := cfg.Memo.GetOrCompute(key, func() (*cloud.TemporalCalibration, error) {
+		replica, err := cloud.NewProvider(pc).Provision(n, key.ProvSeed)
+		if err != nil {
+			return nil, err
+		}
+		return cloud.CalibrateTP(replica, stats.NewRNG(key.RNGSeed), key.Steps, key.Gap, advCfg.Calibration), nil
+	})
+	if err != nil {
+		return err
+	}
+	vc.AdvanceTime(tc.TotalCost)
+	return adv.AnalyzeCalibration(tc)
 }
 
 // collectiveElapsed plans the strategy's tree against the advisor guidance

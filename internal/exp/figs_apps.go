@@ -2,10 +2,12 @@ package exp
 
 import (
 	"fmt"
+	"math/rand"
 
 	"netconstant/internal/apps"
 	"netconstant/internal/core"
 	"netconstant/internal/mpi"
+	"netconstant/internal/netmodel"
 )
 
 // Fig9Result reports a real-application sweep with per-strategy breakdowns.
@@ -37,6 +39,49 @@ func (e *env) overheadFor(s core.Strategy) float64 {
 	return e.advisor.CalibrationCost() / float64(e.advisor.Calibrations())
 }
 
+// runAppSweep is the shared two-phase harness of the Fig 9 family: a
+// sequential pass evolves the cluster and snapshots it per sweep value
+// (preserving the exact rng/clock sequence of the original loop), then
+// the per-value application runs — pure given a snapshot — fan out over
+// the worker pool. Rows and result maps are filled in sweep order, so
+// tables are byte-identical at any worker count.
+func runAppSweep(e *env, figure string, res *Fig9Result, keys []string,
+	eval func(i int, s core.Strategy, snap *netmodel.PerfMatrix) (apps.Breakdown, error)) error {
+	cfg := e.cfg
+	snaps := make([]*netmodel.PerfMatrix, len(keys))
+	for i := range keys {
+		e.cluster.AdvanceTime(60)
+		snaps[i] = e.cluster.SnapshotPerf()
+	}
+	evals := make([][]apps.Breakdown, len(keys))
+	if err := runPoints(figure, cfg.Seed, cfg.workers(), len(keys), func(i int, _ *rand.Rand) error {
+		bds := make([]apps.Breakdown, len(strategiesEC2))
+		for si, s := range strategiesEC2 {
+			bd, err := eval(i, s, snaps[i])
+			if err != nil {
+				return err
+			}
+			bd.Overhead = e.overheadFor(s)
+			bds[si] = bd
+		}
+		evals[i] = bds
+		return nil
+	}); err != nil {
+		return err
+	}
+	for i, key := range keys {
+		res.Totals[key] = map[core.Strategy]float64{}
+		res.Breakdowns[key] = map[core.Strategy]apps.Breakdown{}
+		for si, s := range strategiesEC2 {
+			bd := evals[i][si]
+			res.Totals[key][s] = bd.Total()
+			res.Breakdowns[key][s] = bd
+			res.Table.AddRow(key, s.String(), f(bd.Computation), f(bd.Communication), f(bd.Overhead), f(bd.Total()))
+		}
+	}
+	return nil
+}
+
 // Fig9aCG regenerates Figure 9(a): CG total time (computation,
 // communication, overheads) versus vector size for Baseline (MPICH2),
 // Heuristics and RPCA. Small vectors are dominated by calibration
@@ -54,28 +99,26 @@ func Fig9aCG(cfg Config, vectorSizes []int) (*Fig9Result, error) {
 		Totals:     map[string]map[core.Strategy]float64{},
 		Breakdowns: map[string]map[core.Strategy]apps.Breakdown{},
 	}
-	for _, vs := range vectorSizes {
-		key := fmt.Sprint(vs)
-		res.Totals[key] = map[core.Strategy]float64{}
-		res.Breakdowns[key] = map[core.Strategy]apps.Breakdown{}
-		e.cluster.AdvanceTime(60)
-		snap := e.cluster.SnapshotPerf()
+	keys := make([]string, len(vectorSizes))
+	for i, vs := range vectorSizes {
+		keys[i] = fmt.Sprint(vs)
+	}
+	err = runAppSweep(e, "fig9a", res, keys, func(i int, s core.Strategy, snap *netmodel.PerfMatrix) (apps.Breakdown, error) {
+		vs := vectorSizes[i]
 		chunk := float64(vs) / float64(cfg.VMs) * 8
-		for _, s := range strategiesEC2 {
-			g, b := e.appTrees(s, chunk)
-			out, err := apps.RunCG(mpi.NewAnalyticNet(snap), g, b, apps.CGConfig{
-				VectorSize: vs,
-				Ranks:      cfg.VMs,
-				MaxIter:    4000,
-			})
-			if err != nil {
-				return nil, err
-			}
-			out.Breakdown.Overhead = e.overheadFor(s)
-			res.Totals[key][s] = out.Breakdown.Total()
-			res.Breakdowns[key][s] = out.Breakdown
-			res.Table.AddRow(key, s.String(), f(out.Breakdown.Computation), f(out.Breakdown.Communication), f(out.Breakdown.Overhead), f(out.Breakdown.Total()))
+		g, b := e.appTrees(s, chunk)
+		out, err := apps.RunCG(mpi.NewAnalyticNet(snap), g, b, apps.CGConfig{
+			VectorSize: vs,
+			Ranks:      cfg.VMs,
+			MaxIter:    4000,
+		})
+		if err != nil {
+			return apps.Breakdown{}, err
 		}
+		return out.Breakdown, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -99,25 +142,22 @@ func Fig9bNBodySteps(cfg Config, steps []int, bodies int) (*Fig9Result, error) {
 		Breakdowns: map[string]map[core.Strategy]apps.Breakdown{},
 	}
 	const msg = 1 << 20
-	for _, st := range steps {
-		key := fmt.Sprint(st)
-		res.Totals[key] = map[core.Strategy]float64{}
-		res.Breakdowns[key] = map[core.Strategy]apps.Breakdown{}
-		e.cluster.AdvanceTime(60)
-		snap := e.cluster.SnapshotPerf()
-		for _, s := range strategiesEC2 {
-			g, b := e.appTrees(s, msg)
-			out, err := apps.RunNBody(mpi.NewAnalyticNet(snap), g, b, apps.NBodyConfig{
-				Bodies: bodies, Steps: st, Ranks: cfg.VMs, MsgBytes: msg, Seed: cfg.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			out.Breakdown.Overhead = e.overheadFor(s)
-			res.Totals[key][s] = out.Breakdown.Total()
-			res.Breakdowns[key][s] = out.Breakdown
-			res.Table.AddRow(key, s.String(), f(out.Breakdown.Computation), f(out.Breakdown.Communication), f(out.Breakdown.Overhead), f(out.Breakdown.Total()))
+	keys := make([]string, len(steps))
+	for i, st := range steps {
+		keys[i] = fmt.Sprint(st)
+	}
+	err = runAppSweep(e, "fig9b", res, keys, func(i int, s core.Strategy, snap *netmodel.PerfMatrix) (apps.Breakdown, error) {
+		g, b := e.appTrees(s, msg)
+		out, err := apps.RunNBody(mpi.NewAnalyticNet(snap), g, b, apps.NBodyConfig{
+			Bodies: bodies, Steps: steps[i], Ranks: cfg.VMs, MsgBytes: msg, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return apps.Breakdown{}, err
 		}
+		return out.Breakdown, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -143,25 +183,23 @@ func Fig9cNBodyMsg(cfg Config, msgs []float64, steps, bodies int) (*Fig9Result, 
 		Totals:     map[string]map[core.Strategy]float64{},
 		Breakdowns: map[string]map[core.Strategy]apps.Breakdown{},
 	}
-	for _, msg := range msgs {
-		key := fmt.Sprint(int(msg))
-		res.Totals[key] = map[core.Strategy]float64{}
-		res.Breakdowns[key] = map[core.Strategy]apps.Breakdown{}
-		e.cluster.AdvanceTime(60)
-		snap := e.cluster.SnapshotPerf()
-		for _, s := range strategiesEC2 {
-			g, b := e.appTrees(s, msg)
-			out, err := apps.RunNBody(mpi.NewAnalyticNet(snap), g, b, apps.NBodyConfig{
-				Bodies: bodies, Steps: steps, Ranks: cfg.VMs, MsgBytes: msg, Seed: cfg.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			out.Breakdown.Overhead = e.overheadFor(s)
-			res.Totals[key][s] = out.Breakdown.Total()
-			res.Breakdowns[key][s] = out.Breakdown
-			res.Table.AddRow(key, s.String(), f(out.Breakdown.Computation), f(out.Breakdown.Communication), f(out.Breakdown.Overhead), f(out.Breakdown.Total()))
+	keys := make([]string, len(msgs))
+	for i, msg := range msgs {
+		keys[i] = fmt.Sprint(int(msg))
+	}
+	err = runAppSweep(e, "fig9c", res, keys, func(i int, s core.Strategy, snap *netmodel.PerfMatrix) (apps.Breakdown, error) {
+		msg := msgs[i]
+		g, b := e.appTrees(s, msg)
+		out, err := apps.RunNBody(mpi.NewAnalyticNet(snap), g, b, apps.NBodyConfig{
+			Bodies: bodies, Steps: steps, Ranks: cfg.VMs, MsgBytes: msg, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return apps.Breakdown{}, err
 		}
+		return out.Breakdown, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"netconstant/internal/cloud"
@@ -38,20 +39,32 @@ func Fig4Calibration(cfg Config, sizes []int) (*Fig4Result, error) {
 		Table:       NewTable("Fig 4: calibration overhead vs #instances (time step = 10)", "instances", "est. cost (min)", "measured (min)"),
 		CostSeconds: map[int]float64{},
 	}
-	for _, n := range sizes {
+	// Each size is an independent sweep point: its own provisioned
+	// cluster, no shared state.
+	type fig4Point struct {
+		est      float64
+		measured string
+	}
+	pts := make([]fig4Point, len(sizes))
+	if err := runPoints("fig4", cfg.Seed, cfg.workers(), len(sizes), func(i int, _ *rand.Rand) error {
+		n := sizes[i]
 		// The figure covers one whole TP-matrix: time-step (10) calibration
 		// passes.
-		est := float64(cfg.TimeStep) * cloud.EstimateCalibrationCost(n, typical, cloud.CalibrationConfig{})
-		res.CostSeconds[n] = est
-		measured := ""
+		pts[i].est = float64(cfg.TimeStep) * cloud.EstimateCalibrationCost(n, typical, cloud.CalibrationConfig{})
 		if n <= cfg.VMs*2 { // actually run the small sizes
 			e, err := newEnv(cfg, n, int64(n))
 			if err == nil {
 				cal := cloud.CalibrateTP(e.cluster, e.rng, cfg.TimeStep, 0, cloud.CalibrationConfig{})
-				measured = f(cal.TotalCost / 60)
+				pts[i].measured = f(cal.TotalCost / 60)
 			}
 		}
-		res.Table.AddRow(fmt.Sprint(n), f(est/60), measured)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		res.CostSeconds[n] = pts[i].est
+		res.Table.AddRow(fmt.Sprint(n), f(pts[i].est/60), pts[i].measured)
 	}
 
 	// Measure the RPCA analysis cost at the largest requested size.
@@ -132,14 +145,21 @@ func Fig6Threshold(cfg Config, thresholds []float64, days float64) (*Fig6Result,
 		MaintenancePerRun: map[float64]float64{},
 		Recalibrations:    map[float64]int{},
 	}
-	for _, th := range thresholds {
-		e, err := newEnv(cfg, cfg.VMs, 600) // same seed -> same cluster dynamics
+	// Each threshold replays the same cluster dynamics (same seed offset)
+	// under a different maintenance policy — fully independent points. The
+	// identically-seeded initial calibrations are where the calibration
+	// memo collapses the sweep's measurement cost to a single computation.
+	type fig6Point struct {
+		avg, maintenance float64
+		recals           int
+	}
+	pts := make([]fig6Point, len(thresholds))
+	err := runPoints("fig6", cfg.Seed, cfg.workers(), len(thresholds), func(i int, _ *rand.Rand) error {
+		th := thresholds[i]
+		e, err := newEnvAdv(cfg, cfg.VMs, 600, cloud.ProviderConfig{},
+			core.AdvisorConfig{TimeStep: cfg.TimeStep, Threshold: th})
 		if err != nil {
-			return nil, err
-		}
-		e.advisor = core.NewAdvisor(e.cluster, e.rng, core.AdvisorConfig{TimeStep: cfg.TimeStep, Threshold: th})
-		if err := e.advisor.Calibrate(); err != nil {
-			return nil, err
+			return err
 		}
 		initialCost := e.advisor.CalibrationCost()
 		var bcastSum float64
@@ -152,15 +172,24 @@ func Fig6Threshold(cfg Config, thresholds []float64, days float64) (*Fig6Result,
 			actual := mpi.RunCollective(mpi.NewAnalyticNet(snap), tree, mpi.Broadcast, cfg.MsgBytes)
 			bcastSum += actual
 			if _, err := e.advisor.Observe(expected, actual); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		maintenance := (e.advisor.CalibrationCost() - initialCost) / float64(runs)
-		avg := bcastSum / float64(runs)
-		res.AvgBcast[th] = avg
-		res.MaintenancePerRun[th] = maintenance
-		res.Recalibrations[th] = e.advisor.Recalibrations()
-		res.Table.AddRow(pct(th), f(avg), f(maintenance), f(avg+maintenance), fmt.Sprint(e.advisor.Recalibrations()))
+		pts[i] = fig6Point{
+			avg:         bcastSum / float64(runs),
+			maintenance: (e.advisor.CalibrationCost() - initialCost) / float64(runs),
+			recals:      e.advisor.Recalibrations(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, th := range thresholds {
+		res.AvgBcast[th] = pts[i].avg
+		res.MaintenancePerRun[th] = pts[i].maintenance
+		res.Recalibrations[th] = pts[i].recals
+		res.Table.AddRow(pct(th), f(pts[i].avg), f(pts[i].maintenance), f(pts[i].avg+pts[i].maintenance), fmt.Sprint(pts[i].recals))
 	}
 	res.Table.AddNote("%d runs over %.1f days, one broadcast every 30 min", runs, days)
 	return res, nil
@@ -193,17 +222,47 @@ func Fig7Overall(cfg Config) (*Fig7Result, error) {
 	for _, s := range strategiesEC2 {
 		sums[s] = map[string]float64{}
 	}
+	// Phase 1 (sequential): evolve the cluster and draw each repetition's
+	// inputs in the original order, so every snapshot and rng draw is
+	// unchanged. Phase 2 (parallel): evaluate the strategies against the
+	// recorded inputs — pure given a snapshot. Aggregation in repetition
+	// order keeps sums byte-identical to the sequential nested loop.
+	type fig7Input struct {
+		snap *netmodel.PerfMatrix
+		root int
+		task *mapping.Graph
+	}
+	inputs := make([]fig7Input, cfg.Runs)
 	for r := 0; r < cfg.Runs; r++ {
 		e.cluster.AdvanceTime(30 * 60)
 		snap := e.cluster.SnapshotPerf()
 		root := e.rng.Intn(cfg.VMs) // paper: root randomly chosen
 		task := mapping.RandomTaskGraph(e.rng, cfg.VMs, 0.1, 5<<20, 10<<20)
-		for _, s := range strategiesEC2 {
-			b := e.collectiveElapsed(s, mpi.Broadcast, root, snap)
-			sums[s]["broadcast"] += b
-			bcast[s] = append(bcast[s], b)
-			sums[s]["scatter"] += e.collectiveElapsed(s, mpi.Scatter, root, snap)
-			sums[s]["mapping"] += e.mappingElapsed(s, task, snap)
+		inputs[r] = fig7Input{snap: snap, root: root, task: task}
+	}
+	type fig7Eval struct{ b, sc, m float64 }
+	evals := make([][]fig7Eval, cfg.Runs)
+	if err := runPoints("fig7", cfg.Seed, cfg.workers(), cfg.Runs, func(r int, _ *rand.Rand) error {
+		in := inputs[r]
+		ev := make([]fig7Eval, len(strategiesEC2))
+		for si, s := range strategiesEC2 {
+			ev[si] = fig7Eval{
+				b:  e.collectiveElapsed(s, mpi.Broadcast, in.root, in.snap),
+				sc: e.collectiveElapsed(s, mpi.Scatter, in.root, in.snap),
+				m:  e.mappingElapsed(s, in.task, in.snap),
+			}
+		}
+		evals[r] = ev
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for r := 0; r < cfg.Runs; r++ {
+		for si, s := range strategiesEC2 {
+			sums[s]["broadcast"] += evals[r][si].b
+			bcast[s] = append(bcast[s], evals[r][si].b)
+			sums[s]["scatter"] += evals[r][si].sc
+			sums[s]["mapping"] += evals[r][si].m
 		}
 	}
 	res := &Fig7Result{
@@ -251,12 +310,21 @@ func Fig8ClusterSize(cfg Config) (*Fig8Result, error) {
 		Table:       NewTable("Fig 8: RPCA improvement over Baseline vs cluster size", "instances", "broadcast", "scatter", "mapping", "rack spread"),
 		Improvement: map[int]map[string]float64{},
 	}
-	for _, n := range []int{cfg.SmallVMs, cfg.VMs} {
+	// Each cluster size is an independent world — its own provider,
+	// cluster and advisor — so the sizes run as parallel sweep points.
+	sizes := []int{cfg.SmallVMs, cfg.VMs}
+	type fig8Point struct {
+		imp    map[string]float64
+		spread int
+	}
+	pts := make([]fig8Point, len(sizes))
+	err := runPoints("fig8", cfg.Seed, cfg.workers(), len(sizes), func(i int, _ *rand.Rand) error {
+		n := sizes[i]
 		sub := cfg
 		sub.VMs = n
 		e, err := newEnv(sub, n, 800+int64(n))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sums := map[core.Strategy]map[string]float64{
 			core.Baseline: {}, core.RPCA: {},
@@ -276,8 +344,15 @@ func Fig8ClusterSize(cfg Config) (*Fig8Result, error) {
 		for _, app := range []string{"broadcast", "scatter", "mapping"} {
 			imp[app] = stats.RelImprovement(sums[core.Baseline][app], sums[core.RPCA][app])
 		}
-		res.Improvement[n] = imp
-		res.Table.AddRow(fmt.Sprint(n), pct(imp["broadcast"]), pct(imp["scatter"]), pct(imp["mapping"]), fmt.Sprint(e.cluster.RackSpread()))
+		pts[i] = fig8Point{imp: imp, spread: e.cluster.RackSpread()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		res.Improvement[n] = pts[i].imp
+		res.Table.AddRow(fmt.Sprint(n), pct(pts[i].imp["broadcast"]), pct(pts[i].imp["scatter"]), pct(pts[i].imp["mapping"]), fmt.Sprint(pts[i].spread))
 	}
 	return res, nil
 }

@@ -2,12 +2,14 @@ package exp
 
 import (
 	"fmt"
+	"math/rand"
 
 	"netconstant/internal/cloud"
 	"netconstant/internal/core"
 	"netconstant/internal/cost"
 	"netconstant/internal/mpi"
 	"netconstant/internal/netcoord"
+	"netconstant/internal/netmodel"
 	"netconstant/internal/rpca"
 	"netconstant/internal/stats"
 	"netconstant/internal/workflow"
@@ -36,13 +38,33 @@ func ExtEconomics(cfg Config) (*ExtEconomicsResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var baseSum, rpcaSum float64
+	// Two phases: the cluster evolution and rng draws stay sequential, the
+	// pure replay evaluation fans out.
+	type econInput struct {
+		snap *netmodel.PerfMatrix
+		root int
+	}
+	inputs := make([]econInput, cfg.Runs)
 	for r := 0; r < cfg.Runs; r++ {
 		e.cluster.AdvanceTime(30 * 60)
-		snap := e.cluster.SnapshotPerf()
-		root := e.rng.Intn(cfg.VMs)
-		baseSum += e.collectiveElapsed(core.Baseline, mpi.Broadcast, root, snap)
-		rpcaSum += e.collectiveElapsed(core.RPCA, mpi.Broadcast, root, snap)
+		inputs[r] = econInput{snap: e.cluster.SnapshotPerf(), root: e.rng.Intn(cfg.VMs)}
+	}
+	type econEval struct{ base, rpca float64 }
+	evals := make([]econEval, cfg.Runs)
+	if err := runPoints("ext-economics", cfg.Seed, cfg.workers(), cfg.Runs, func(r int, _ *rand.Rand) error {
+		in := inputs[r]
+		evals[r] = econEval{
+			base: e.collectiveElapsed(core.Baseline, mpi.Broadcast, in.root, in.snap),
+			rpca: e.collectiveElapsed(core.RPCA, mpi.Broadcast, in.root, in.snap),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var baseSum, rpcaSum float64
+	for r := 0; r < cfg.Runs; r++ {
+		baseSum += evals[r].base
+		rpcaSum += evals[r].rpca
 	}
 	baseMean := baseSum / float64(cfg.Runs)
 	rpcaMean := rpcaSum / float64(cfg.Runs)
@@ -97,17 +119,32 @@ func ExtCollectives(cfg Config) (*ExtCollectivesResult, error) {
 		Table:   NewTable("Ext: all-to-all implementations (1 MB per-rank chunks, RPCA-guided)", "implementation", "mean elapsed (s)"),
 		Elapsed: map[string]float64{},
 	}
-	sums := map[string]float64{}
+	snaps := make([]*netmodel.PerfMatrix, cfg.Runs)
 	for r := 0; r < cfg.Runs; r++ {
 		e.cluster.AdvanceTime(30 * 60)
-		snap := e.cluster.SnapshotPerf()
+		snaps[r] = e.cluster.SnapshotPerf()
+	}
+	type collEval struct{ gb, pw, ring float64 }
+	evals := make([]collEval, cfg.Runs)
+	if err := runPoints("ext-collectives", cfg.Seed, cfg.workers(), cfg.Runs, func(r int, _ *rand.Rand) error {
+		snap := snaps[r]
 		w := e.advisor.Constant().Weights(float64(chunk))
 		tree := e.advisor.PlanTree(core.RPCA, 0, float64(chunk), nil, nil)
 		order := mpi.ChainFromWeights(w, 0)
-
-		sums["gather+broadcast (paper)"] += mpi.RunAllToAll(mpi.NewAnalyticNet(snap), tree, tree, float64(chunk))
-		sums["pairwise exchange"] += mpi.PairwiseAlltoall(mpi.NewAnalyticNet(snap), order, float64(chunk))
-		sums["ring allreduce (same volume)"] += mpi.RingAllreduce(mpi.NewAnalyticNet(snap), order, float64(chunk)*float64(n))
+		evals[r] = collEval{
+			gb:   mpi.RunAllToAll(mpi.NewAnalyticNet(snap), tree, tree, float64(chunk)),
+			pw:   mpi.PairwiseAlltoall(mpi.NewAnalyticNet(snap), order, float64(chunk)),
+			ring: mpi.RingAllreduce(mpi.NewAnalyticNet(snap), order, float64(chunk)*float64(n)),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sums := map[string]float64{}
+	for r := 0; r < cfg.Runs; r++ {
+		sums["gather+broadcast (paper)"] += evals[r].gb
+		sums["pairwise exchange"] += evals[r].pw
+		sums["ring allreduce (same volume)"] += evals[r].ring
 	}
 	for name, s := range sums {
 		res.Elapsed[name] = s / float64(cfg.Runs)
@@ -246,29 +283,49 @@ func ExtWorkflow(cfg Config) (*ExtWorkflowResult, error) {
 		return nil, err
 	}
 	const flopRate = 1e9
-	sums := map[string]float64{}
+	type wfInput struct {
+		snap *netmodel.PerfMatrix
+		dag  *workflow.DAG
+	}
+	inputs := make([]wfInput, cfg.Runs)
 	for r := 0; r < cfg.Runs; r++ {
 		e.cluster.AdvanceTime(30 * 60)
-		snap := e.cluster.SnapshotPerf()
-		dag := workflow.RandomDAG(e.rng, 5, cfg.VMs/2, 4<<20, 32<<20, 5e8, 2e9)
-
+		inputs[r] = wfInput{
+			snap: e.cluster.SnapshotPerf(),
+			dag:  workflow.RandomDAG(e.rng, 5, cfg.VMs/2, 4<<20, 32<<20, 5e8, 2e9),
+		}
+	}
+	evals := make([]map[string]float64, cfg.Runs)
+	if err := runPoints("ext-workflow", cfg.Seed, cfg.workers(), cfg.Runs, func(r int, _ *rand.Rand) error {
+		in := inputs[r]
 		plans := map[string][]int{}
-		plans["round-robin"] = workflow.RoundRobin(dag, cfg.VMs)
-		if s, err := workflow.HEFT(dag, cfg.VMs, flopRate, nil); err == nil {
+		plans["round-robin"] = workflow.RoundRobin(in.dag, cfg.VMs)
+		if s, err := workflow.HEFT(in.dag, cfg.VMs, flopRate, nil); err == nil {
 			plans["HEFT (blind)"] = s.VMOf
 		}
-		if s, err := workflow.HEFT(dag, cfg.VMs, flopRate, e.advisor.HeuristicPerf()); err == nil {
+		if s, err := workflow.HEFT(in.dag, cfg.VMs, flopRate, e.advisor.HeuristicPerf()); err == nil {
 			plans["HEFT + Heuristics"] = s.VMOf
 		}
-		if s, err := workflow.HEFT(dag, cfg.VMs, flopRate, e.advisor.Constant()); err == nil {
+		if s, err := workflow.HEFT(in.dag, cfg.VMs, flopRate, e.advisor.Constant()); err == nil {
 			plans["HEFT + RPCA"] = s.VMOf
 		}
+		ms := map[string]float64{}
 		for name, assign := range plans {
-			ms, err := workflow.Evaluate(dag, assign, cfg.VMs, flopRate, snap)
+			v, err := workflow.Evaluate(in.dag, assign, cfg.VMs, flopRate, in.snap)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sums[name] += ms
+			ms[name] = v
+		}
+		evals[r] = ms
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sums := map[string]float64{}
+	for r := 0; r < cfg.Runs; r++ {
+		for name, v := range evals[r] {
+			sums[name] += v
 		}
 	}
 	res := &ExtWorkflowResult{

@@ -179,26 +179,49 @@ func Fig10ErrorImpact(cfg Config, targets []float64) (*Fig10Result, error) {
 	// Each target is averaged over several independently noised traces so
 	// that burst placement does not dominate (the paper repeats each
 	// experiment >100 times).
+	//
+	// Only the stats.Split calls consume e.rng (the noising and the replay
+	// read the split-off streams exclusively), so the splits are pre-derived
+	// sequentially in the exact order the nested loops made them and the
+	// heavy (target, seed) points fan out over the worker pool.
 	const noiseSeeds = 3
-	for _, target := range targets {
+	type fig10Point struct {
+		noiseRNG, replayRNG *rand.Rand
+		achieved            float64
+		st                  *replayStudy
+	}
+	points := make([]fig10Point, len(targets)*noiseSeeds)
+	for ti, target := range targets {
+		for seed := 0; seed < noiseSeeds; seed++ {
+			p := &points[ti*noiseSeeds+seed]
+			p.noiseRNG = stats.Split(e.rng, int64(target*1000)+int64(seed))
+			p.replayRNG = stats.Split(e.rng, 7+int64(target*1000)+int64(seed))
+		}
+	}
+	if err := runPoints("fig10", cfg.Seed, cfg.workers(), len(points), func(i int, _ *rand.Rand) error {
+		p := &points[i]
+		target := targets[i/noiseSeeds]
+		noisy, achieved, err := TargetNormE(tr, cfg.TimeStep, target, p.noiseRNG)
+		if err != nil {
+			return err
+		}
+		p.achieved = achieved
+		p.st, err = runReplay(cfg, noisy, p.replayRNG)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for ti := range targets {
 		agg := map[core.Strategy]map[string][]float64{}
 		for _, s := range strategiesEC2 {
 			agg[s] = map[string][]float64{}
 		}
 		var achievedSum float64
 		for seed := 0; seed < noiseSeeds; seed++ {
-			noisy, achieved, err := TargetNormE(tr, cfg.TimeStep, target,
-				stats.Split(e.rng, int64(target*1000)+int64(seed)))
-			if err != nil {
-				return nil, err
-			}
-			achievedSum += achieved
-			st, err := runReplay(cfg, noisy, stats.Split(e.rng, 7+int64(target*1000)+int64(seed)))
-			if err != nil {
-				return nil, err
-			}
+			p := &points[ti*noiseSeeds+seed]
+			achievedSum += p.achieved
 			for _, s := range strategiesEC2 {
-				for app, xs := range st.Elapsd[s] {
+				for app, xs := range p.st.Elapsd[s] {
 					agg[s][app] = append(agg[s][app], xs...)
 				}
 			}
@@ -249,20 +272,36 @@ func Fig11Detailed(cfg Config) (*Fig11Result, error) {
 	for _, s := range strategiesEC2 {
 		st.Elapsd[s] = map[string][]float64{}
 	}
+	// As in Fig 10, the Split calls are pre-derived in the original order
+	// and the heavy per-seed noising + replay runs in parallel.
 	var achieved float64
 	const noiseSeeds = 3
+	type fig11Point struct {
+		noiseRNG, replayRNG *rand.Rand
+		achieved            float64
+		st                  *replayStudy
+	}
+	points := make([]fig11Point, noiseSeeds)
 	for seed := int64(0); seed < noiseSeeds; seed++ {
-		noisy, a, err := TargetNormE(tr, cfg.TimeStep, 0.2, stats.Split(e.rng, 11+seed))
+		points[seed].noiseRNG = stats.Split(e.rng, 11+seed)
+		points[seed].replayRNG = stats.Split(e.rng, 100+seed)
+	}
+	if err := runPoints("fig11", cfg.Seed, cfg.workers(), noiseSeeds, func(i int, _ *rand.Rand) error {
+		p := &points[i]
+		noisy, a, err := TargetNormE(tr, cfg.TimeStep, 0.2, p.noiseRNG)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		achieved += a / noiseSeeds
-		one, err := runReplay(cfg, noisy, stats.Split(e.rng, 100+seed))
-		if err != nil {
-			return nil, err
-		}
+		p.achieved = a
+		p.st, err = runReplay(cfg, noisy, p.replayRNG)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for seed := 0; seed < noiseSeeds; seed++ {
+		achieved += points[seed].achieved / noiseSeeds
 		for _, s := range strategiesEC2 {
-			for app, xs := range one.Elapsd[s] {
+			for app, xs := range points[seed].st.Elapsd[s] {
 				st.Elapsd[s][app] = append(st.Elapsd[s][app], xs...)
 			}
 		}

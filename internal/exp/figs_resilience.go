@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"netconstant/internal/cloud"
 	"netconstant/internal/core"
@@ -84,43 +85,62 @@ func ExtResilience(cfg Config) (*ExtResilienceResult, error) {
 		adv0.Confidence().String(), adv0.EffectiveStrategy(core.RPCA).String())
 	res.WorstErr = res.BaselineErr
 
+	// Each scenario provisions its own identically seeded cluster, so the
+	// sweep fans out over the worker pool; rows are emitted in scenario
+	// order afterwards.
+	type scenario struct {
+		loss     float64
+		blackout bool
+	}
+	var scenarios []scenario
 	for _, loss := range []float64{0.1, 0.2, 0.4} {
 		for _, blackout := range []bool{false, true} {
-			p, vc, err := build()
-			if err != nil {
-				return nil, err
-			}
-			sc := faults.Scenario{Seed: cfg.Seed + seedOffset + 3, ProbeLoss: loss}
-			if blackout {
-				rack := p.Topo.Node(vc.Hosts[0]).Rack
-				sc.Blackouts = []faults.Blackout{
-					faults.RackBlackout(p.Topo, vc.Hosts, rack, 0.1*baseCost, 1.5*baseCost),
-				}
-			}
-			fc := faults.Wrap(vc, sc)
-			adv := core.NewAdvisor(fc, stats.NewRNG(cfg.Seed+seedOffset+2), advCfg)
-			if err := adv.Calibrate(); err != nil {
-				return nil, err
-			}
-			e := relErr(adv)
-			if e > res.WorstErr {
-				res.WorstErr = e
-			}
-			h := adv.Health()
-			yn := "no"
-			if blackout {
-				yn = "yes"
-			}
-			res.Table.AddRow(
-				fmt.Sprintf("%.0f%%", 100*loss), yn,
-				fmt.Sprintf("%.1f%%", 100*h.Coverage),
-				fmt.Sprintf("%.2f", h.MeanQuality),
-				fmt.Sprintf("%.4f", adv.NormE()),
-				fmt.Sprintf("%.4f", e),
-				h.Confidence.String(),
-				adv.EffectiveStrategy(core.RPCA).String(),
-			)
+			scenarios = append(scenarios, scenario{loss, blackout})
 		}
+	}
+	advs := make([]*core.Advisor, len(scenarios))
+	if err := runPoints("ext-resilience", cfg.Seed, cfg.workers(), len(scenarios), func(i int, _ *rand.Rand) error {
+		p, vc, err := build()
+		if err != nil {
+			return err
+		}
+		sc := faults.Scenario{Seed: cfg.Seed + seedOffset + 3, ProbeLoss: scenarios[i].loss}
+		if scenarios[i].blackout {
+			rack := p.Topo.Node(vc.Hosts[0]).Rack
+			sc.Blackouts = []faults.Blackout{
+				faults.RackBlackout(p.Topo, vc.Hosts, rack, 0.1*baseCost, 1.5*baseCost),
+			}
+		}
+		fc := faults.Wrap(vc, sc)
+		adv := core.NewAdvisor(fc, stats.NewRNG(cfg.Seed+seedOffset+2), advCfg)
+		if err := adv.Calibrate(); err != nil {
+			return err
+		}
+		advs[i] = adv
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, scen := range scenarios {
+		adv := advs[i]
+		e := relErr(adv)
+		if e > res.WorstErr {
+			res.WorstErr = e
+		}
+		h := adv.Health()
+		yn := "no"
+		if scen.blackout {
+			yn = "yes"
+		}
+		res.Table.AddRow(
+			fmt.Sprintf("%.0f%%", 100*scen.loss), yn,
+			fmt.Sprintf("%.1f%%", 100*h.Coverage),
+			fmt.Sprintf("%.2f", h.MeanQuality),
+			fmt.Sprintf("%.4f", adv.NormE()),
+			fmt.Sprintf("%.4f", e),
+			h.Confidence.String(),
+			adv.EffectiveStrategy(core.RPCA).String(),
+		)
 	}
 	res.Table.AddNote("blackout: first VM's rack dark from %.0fs for %.0fs (fault-free calibration costs %.0fs)",
 		0.1*baseCost, 1.5*baseCost, baseCost)

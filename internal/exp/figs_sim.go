@@ -1,10 +1,13 @@
 package exp
 
 import (
+	"math/rand"
+
 	"netconstant/internal/cloud"
 	"netconstant/internal/core"
 	"netconstant/internal/mapping"
 	"netconstant/internal/mpi"
+	"netconstant/internal/netmodel"
 	"netconstant/internal/rpca"
 	"netconstant/internal/stats"
 	"netconstant/internal/topo"
@@ -74,25 +77,35 @@ func Fig12Background(cfg Config, lambdas, msgSizes []float64) (*Fig12Result, err
 		ByLambda: map[float64]float64{},
 		ByMsg:    map[float64]float64{},
 	}
-	for _, l := range lambdas {
-		sc := simClusterFor(cfg, l, 100<<20, bgLinks, 0, 1200+int64(l))
+	// Every point builds and calibrates its own simulated cluster, so the
+	// sweep is embarrassingly parallel.
+	neLambda := make([]float64, len(lambdas))
+	if err := runPoints("fig12a", cfg.Seed, cfg.workers(), len(lambdas), func(i int, _ *rand.Rand) error {
+		sc := simClusterFor(cfg, lambdas[i], 100<<20, bgLinks, 0, 1200+int64(lambdas[i]))
 		ne, err := simNormE(cfg, sc)
 		sc.StopBackground()
-		if err != nil {
-			return nil, err
-		}
-		res.ByLambda[l] = ne
-		res.TableA.AddRow(f(l), f(ne))
+		neLambda[i] = ne
+		return err
+	}); err != nil {
+		return nil, err
 	}
-	for _, m := range msgSizes {
-		sc := simClusterFor(cfg, 5, m, bgLinks, 0, 1300+int64(m/(1<<20)))
+	for i, l := range lambdas {
+		res.ByLambda[l] = neLambda[i]
+		res.TableA.AddRow(f(l), f(neLambda[i]))
+	}
+	neMsg := make([]float64, len(msgSizes))
+	if err := runPoints("fig12b", cfg.Seed, cfg.workers(), len(msgSizes), func(i int, _ *rand.Rand) error {
+		sc := simClusterFor(cfg, 5, msgSizes[i], bgLinks, 0, 1300+int64(msgSizes[i]/(1<<20)))
 		ne, err := simNormE(cfg, sc)
 		sc.StopBackground()
-		if err != nil {
-			return nil, err
-		}
-		res.ByMsg[m] = ne
-		res.TableB.AddRow(f(m/(1<<20)), f(ne))
+		neMsg[i] = ne
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i, m := range msgSizes {
+		res.ByMsg[m] = neMsg[i]
+		res.TableB.AddRow(f(m/(1<<20)), f(neMsg[i]))
 	}
 	return res, nil
 }
@@ -138,6 +151,15 @@ func Fig13Simulation(cfg Config, bgLambda, bgBytes float64) (*Fig13Result, error
 	for _, s := range strategiesSim {
 		elapsed[s] = map[string][]float64{}
 	}
+	// The collectives contend with background traffic on the live
+	// simulator, so they (and every rng/snapshot draw) stay sequential in
+	// the original order; the topology-mapping evaluation is pure given the
+	// recorded task graph and snapshot and fans out over the worker pool.
+	type fig13Input struct {
+		task     *mapping.Graph
+		snapPerf *netmodel.PerfMatrix
+	}
+	inputs := make([]fig13Input, cfg.Runs)
 	net := mpi.NewSimNetwork(sc.Sim, sc.Hosts)
 	for r := 0; r < cfg.Runs; r++ {
 		root := rng.Intn(n)
@@ -147,6 +169,7 @@ func Fig13Simulation(cfg Config, bgLambda, bgBytes float64) (*Fig13Result, error
 		snapPerf := core.PerfFromRows(n,
 			snap.Latency.Matrix().Row(0),
 			snap.Bandwidth.Matrix().Row(0))
+		inputs[r] = fig13Input{task: task, snapPerf: snapPerf}
 		for _, s := range strategiesSim {
 			tree := adv.PlanTree(s, root, cfg.MsgBytes, sc.Sim.Topo, sc.Hosts)
 			// Collectives execute on the live simulator, one by one (as in
@@ -156,15 +179,29 @@ func Fig13Simulation(cfg Config, bgLambda, bgBytes float64) (*Fig13Result, error
 			scEl := mpi.RunCollective(net, tree, mpi.Scatter, cfg.MsgBytes)
 			elapsed[s]["broadcast"] = append(elapsed[s]["broadcast"], b)
 			elapsed[s]["scatter"] = append(elapsed[s]["scatter"], scEl)
-
+		}
+	}
+	mapElapsed := make([][]float64, cfg.Runs)
+	if err := runPoints("fig13", cfg.Seed, cfg.workers(), cfg.Runs, func(r int, _ *rand.Rand) error {
+		in := inputs[r]
+		mels := make([]float64, len(strategiesSim))
+		for si, s := range strategiesSim {
 			var assign []int
 			if guide := adv.GuidancePerf(s); guide != nil {
-				assign = mapping.GreedyMap(task, mapping.MachineGraphFromPerf(guide))
+				assign = mapping.GreedyMap(in.task, mapping.MachineGraphFromPerf(guide))
 			} else {
 				assign = mapping.RingMapping(n)
 			}
-			mel, _ := mapping.Cost(task, assign, snapPerf)
-			elapsed[s]["mapping"] = append(elapsed[s]["mapping"], mel)
+			mels[si], _ = mapping.Cost(in.task, assign, in.snapPerf)
+		}
+		mapElapsed[r] = mels
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for r := 0; r < cfg.Runs; r++ {
+		for si, s := range strategiesSim {
+			elapsed[s]["mapping"] = append(elapsed[s]["mapping"], mapElapsed[r][si])
 		}
 	}
 

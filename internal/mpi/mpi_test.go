@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"netconstant/internal/mat"
 	"netconstant/internal/netmodel"
@@ -368,5 +369,46 @@ func TestSimVsAnalyticAgreementWithoutContention(t *testing.T) {
 	anaTime := RunCollective(NewAnalyticNet(pm), tr, Broadcast, msg)
 	if math.Abs(simTime-anaTime)/anaTime > 0.05 {
 		t.Errorf("sim %v vs analytic %v", simTime, anaTime)
+	}
+}
+
+func TestFNFTreeDegradedWeightsTerminates(t *testing.T) {
+	// A fully degraded calibration leaves +Inf (unmeasured) and NaN
+	// weights. FNF must still terminate with a complete tree — picking
+	// unmeasured receivers smallest-index-first as a last resort —
+	// instead of spinning with no receiver ever joining (the advise CLI
+	// used to hang here under heavy probe loss).
+	inf := math.Inf(1)
+	cases := map[string]*mat.Dense{
+		"all-inf": mat.FromRows([][]float64{
+			{0, inf, inf, inf},
+			{inf, 0, inf, inf},
+			{inf, inf, 0, inf},
+			{inf, inf, inf, 0},
+		}),
+		"nan-mixed": mat.FromRows([][]float64{
+			{0, math.NaN(), inf, inf},
+			{inf, 0, math.NaN(), inf},
+			{inf, inf, 0, inf},
+			{math.NaN(), inf, inf, 0},
+		}),
+		"one-finite-row": mat.FromRows([][]float64{
+			{0, 2, inf, inf},
+			{inf, 0, inf, inf},
+			{inf, inf, 0, inf},
+			{inf, inf, inf, 0},
+		}),
+	}
+	for name, w := range cases {
+		done := make(chan *Tree, 1)
+		go func() { done <- FNFTree(w, 0) }()
+		select {
+		case tr := <-done:
+			if err := tr.Validate(); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s: FNFTree did not terminate", name)
+		}
 	}
 }

@@ -174,11 +174,23 @@ func FNFTree(w *mat.Dense, root int) *Tree {
 			if remaining == 0 {
 				break
 			}
+			// Pick the best receiver. Unmeasured pairs carry +Inf (or NaN)
+			// weights; they are only ever picked when a sender has no
+			// finite-weight candidate left, smallest index first, so a
+			// degraded weight matrix still yields a complete tree instead
+			// of looping forever with no receiver joining.
 			best := -1
 			bestW := math.Inf(1)
 			for u := 0; u < n; u++ {
-				if inU[u] && w.At(s, u) < bestW {
-					bestW = w.At(s, u)
+				if !inU[u] {
+					continue
+				}
+				wu := w.At(s, u)
+				if math.IsNaN(wu) {
+					wu = math.Inf(1)
+				}
+				if best < 0 || wu < bestW {
+					bestW = wu
 					best = u
 				}
 			}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+	"sync/atomic"
 
 	"netconstant/internal/des"
 	"netconstant/internal/stats"
@@ -32,6 +34,11 @@ type Flow struct {
 	done       func(at float64)
 	finished   bool
 	start      float64
+
+	// Scratch used by the incremental allocator within one recompute.
+	newRate float64
+	unfixed bool
+	visited int64 // collectDirty epoch stamp
 }
 
 // Finished reports whether the flow has completed.
@@ -45,19 +52,80 @@ type Sim struct {
 	Topo *topo.Topology
 	Eng  *des.Engine
 
-	nextID    int64
-	active    map[int64]*Flow
-	linkFlows map[topo.LinkID]map[int64]*Flow
+	nextID int64
+	active map[int64]*Flow
+	// linkFlows is indexed by LinkID (link IDs are dense, assigned in
+	// creation order); each entry lists the active flows crossing that
+	// link, removed by swap-with-last. Both allocators are visiting-order
+	// independent, so the unordered slice is safe.
+	linkFlows [][]*Flow
+
+	// routes caches (src, dst) -> path + propagation latency. The
+	// topology is immutable once the simulation starts and background
+	// sources and probes reuse the same endpoint pairs over and over, so
+	// routing BFS — two O(nodes) allocations per call — is paid once per
+	// pair instead of once per flow. Cached paths are shared between
+	// flows and never mutated.
+	routes map[int64]routeEntry
+
+	// globalFill selects the pre-optimization allocator that refills the
+	// whole network on every event; kept as an ablation baseline for
+	// benchmarks and the differential test.
+	globalFill bool
+	// verifyGlobal, when set, re-derives every active flow's rate with a
+	// fresh whole-network fill after each incremental recompute and
+	// records the first bitwise mismatch in verifyErr.
+	verifyGlobal bool
+	verifyErr    error
+
+	// Reusable scratch for the incremental allocator. Marks are epoch
+	// stamps (linkStamp per link, Flow.visited per flow) so no per-event
+	// clearing is needed; linkSlot maps a dirty link to its index in the
+	// fill slices and is always written before it is read.
+	dirtyFlows []*Flow
+	dirtyLinks []topo.LinkID
+	epoch      int64
+	linkStamp  []int64   // per-link collectDirty epoch
+	linkSlot   []int32   // dirty link -> index into fill slices
+	fillCap    []float64 // residual capacity per dirty link
+	fillUnfix  []int32   // unfixed-flow count per dirty link
 }
+
+type routeEntry struct {
+	path    []topo.LinkID
+	latency float64
+}
+
+// defaultGlobalFill makes New return simulators running the global
+// (pre-optimization) allocator; benchmarks flip it to time unmodified
+// higher layers end to end against both allocators.
+var defaultGlobalFill atomic.Bool
+
+// SetDefaultGlobalFill selects the allocator used by subsequently created
+// simulators and returns the previous setting. Intended for benchmarks
+// and ablation studies; the incremental allocator is the default.
+func SetDefaultGlobalFill(on bool) bool { return defaultGlobalFill.Swap(on) }
 
 // New creates a simulator for the given topology with its own event engine.
 func New(t *topo.Topology) *Sim {
 	return &Sim{
-		Topo:      t,
-		Eng:       des.NewEngine(),
-		active:    make(map[int64]*Flow),
-		linkFlows: make(map[topo.LinkID]map[int64]*Flow),
+		Topo:       t,
+		Eng:        des.NewEngine(),
+		active:     make(map[int64]*Flow),
+		linkFlows:  make([][]*Flow, t.NumLinks()),
+		linkStamp:  make([]int64, t.NumLinks()),
+		linkSlot:   make([]int32, t.NumLinks()),
+		routes:     make(map[int64]routeEntry),
+		globalFill: defaultGlobalFill.Load(),
 	}
+}
+
+// SetGlobalFill selects this simulator's allocator (true = whole-network
+// refill on every event) and returns the previous setting.
+func (s *Sim) SetGlobalFill(on bool) bool {
+	prev := s.globalFill
+	s.globalFill = on
+	return prev
 }
 
 // Now returns the current simulated time.
@@ -74,18 +142,24 @@ func (s *Sim) StartFlow(src, dst int, bytes float64, done func(at float64)) *Flo
 	if bytes < 0 {
 		panic("simnet: negative flow size")
 	}
-	path := s.Topo.Route(src, dst)
+	key := int64(src)<<32 | int64(int32(dst))
+	re, ok := s.routes[key]
+	if !ok {
+		re.path = s.Topo.Route(src, dst)
+		re.latency = s.Topo.PathLatency(re.path)
+		s.routes[key] = re
+	}
 	f := &Flow{
 		ID:    s.nextID,
 		Src:   src,
 		Dst:   dst,
 		Bytes: bytes,
-		path:  path,
+		path:  re.path,
 		done:  done,
 		start: s.Now(),
 	}
 	s.nextID++
-	latency := s.Topo.PathLatency(path)
+	latency := re.latency
 	if bytes == 0 {
 		s.Eng.After(latency, func() { s.finish(f) })
 		return f
@@ -95,18 +169,24 @@ func (s *Sim) StartFlow(src, dst int, bytes float64, done func(at float64)) *Flo
 	return f
 }
 
+// ensureLink grows the per-link arrays to cover l; links are normally all
+// present at New, but the topology may have grown since.
+func (s *Sim) ensureLink(l topo.LinkID) {
+	for int(l) >= len(s.linkFlows) {
+		s.linkFlows = append(s.linkFlows, nil)
+		s.linkStamp = append(s.linkStamp, 0)
+		s.linkSlot = append(s.linkSlot, 0)
+	}
+}
+
 func (s *Sim) activate(f *Flow) {
 	f.lastUpdate = s.Now()
 	s.active[f.ID] = f
 	for _, l := range f.path {
-		m := s.linkFlows[l]
-		if m == nil {
-			m = make(map[int64]*Flow)
-			s.linkFlows[l] = m
-		}
-		m[f.ID] = f
+		s.ensureLink(l)
+		s.linkFlows[l] = append(s.linkFlows[l], f)
 	}
-	s.recompute()
+	s.recompute(f.path)
 }
 
 func (s *Sim) finish(f *Flow) {
@@ -119,92 +199,166 @@ func (s *Sim) finish(f *Flow) {
 func (s *Sim) complete(f *Flow) {
 	delete(s.active, f.ID)
 	for _, l := range f.path {
-		delete(s.linkFlows[l], f.ID)
+		flows := s.linkFlows[l]
+		for i, g := range flows {
+			if g == f {
+				flows[i] = flows[len(flows)-1]
+				flows[len(flows)-1] = nil
+				s.linkFlows[l] = flows[:len(flows)-1]
+				break
+			}
+		}
 	}
 	f.rate = 0
 	f.remaining = 0
+	f.completion = nil
 	s.finish(f)
-	s.recompute()
+	s.recompute(f.path)
 }
 
-// recompute performs progressive-filling max-min fair allocation over all
-// active flows, then reschedules their completion events.
-func (s *Sim) recompute() {
+// recompute restores the max-min fair allocation after a flow arrived or
+// departed on the given path. The incremental allocator confines the
+// progressive filling to the dirty subgraph — the links of the changed
+// path plus every flow sharing them, expanded transitively — which is the
+// changed flow's whole connected component in the flow↔link sharing
+// graph. Max-min allocations decompose independently per component, and
+// component-restricted filling performs the same floating-point
+// operations as a whole-network fill does on that component, so rates
+// stay byte-identical to the global recompute (asserted by the
+// differential tests via verifyGlobal).
+func (s *Sim) recompute(seeds []topo.LinkID) {
+	if s.globalFill {
+		s.recomputeGlobal()
+		return
+	}
+	s.collectDirty(seeds)
+	s.fillDirty()
+	s.commitDirty()
+	if s.verifyGlobal && s.verifyErr == nil {
+		s.verifyErr = s.verifyAgainstGlobal()
+	}
+}
+
+// collectDirty gathers the connected component(s) of the seed links into
+// s.dirtyLinks / s.dirtyFlows by breadth-first expansion over shared
+// links. The common case — a background flow arriving on an otherwise
+// quiet leaf path — visits O(path length) state.
+func (s *Sim) collectDirty(seeds []topo.LinkID) {
+	s.dirtyFlows = s.dirtyFlows[:0]
+	s.dirtyLinks = s.dirtyLinks[:0]
+	s.epoch++
+	ep := s.epoch
+	for _, l := range seeds {
+		s.ensureLink(l)
+		if s.linkStamp[l] != ep && len(s.linkFlows[l]) > 0 {
+			s.linkStamp[l] = ep
+			s.dirtyLinks = append(s.dirtyLinks, l)
+		}
+	}
+	for i := 0; i < len(s.dirtyLinks); i++ {
+		for _, f := range s.linkFlows[s.dirtyLinks[i]] {
+			if f.visited == ep {
+				continue
+			}
+			f.visited = ep
+			s.dirtyFlows = append(s.dirtyFlows, f)
+			for _, l := range f.path {
+				if s.linkStamp[l] != ep {
+					s.linkStamp[l] = ep
+					s.dirtyLinks = append(s.dirtyLinks, l)
+				}
+			}
+		}
+	}
+}
+
+// fillDirty runs progressive filling restricted to the dirty component,
+// leaving each dirty flow's share in f.newRate. Bottleneck ties are
+// broken by the smallest link ID so the result is independent of map
+// iteration order.
+func (s *Sim) fillDirty() {
+	s.fillCap = s.fillCap[:0]
+	s.fillUnfix = s.fillUnfix[:0]
+	for k, l := range s.dirtyLinks {
+		s.linkSlot[l] = int32(k)
+		s.fillCap = append(s.fillCap, s.Topo.Link(l).Capacity)
+		s.fillUnfix = append(s.fillUnfix, int32(len(s.linkFlows[l])))
+	}
+	for _, f := range s.dirtyFlows {
+		f.unfixed = true
+	}
+	remaining := len(s.dirtyFlows)
+	for remaining > 0 {
+		// Bottleneck: minimum fair share among dirty links that still
+		// carry unfixed flows; ties go to the smallest link ID.
+		best := -1
+		bestLink := topo.LinkID(-1)
+		minShare := math.Inf(1)
+		for k, l := range s.dirtyLinks {
+			if s.fillUnfix[k] == 0 {
+				continue
+			}
+			share := s.fillCap[k] / float64(s.fillUnfix[k])
+			if share < minShare || (share == minShare && l < bestLink) {
+				minShare = share
+				best = k
+				bestLink = l
+			}
+		}
+		if best < 0 {
+			// No capacitated links left (cannot happen: every flow crosses
+			// at least one link), but guard against an infinite loop.
+			for _, f := range s.dirtyFlows {
+				if f.unfixed {
+					f.newRate = math.Inf(1)
+					f.unfixed = false
+				}
+			}
+			break
+		}
+		// Fix every unfixed flow on the bottleneck at minShare. Every flow
+		// on a dirty link is in the dirty set by construction, and each
+		// link's residual decreases by the same minShare per crossing
+		// flow, so visiting order cannot change a single bit.
+		for _, f := range s.linkFlows[bestLink] {
+			if !f.unfixed {
+				continue
+			}
+			f.newRate = minShare
+			f.unfixed = false
+			remaining--
+			for _, l := range f.path {
+				k := s.linkSlot[l]
+				s.fillCap[k] -= minShare
+				if s.fillCap[k] < 0 {
+					s.fillCap[k] = 0
+				}
+				s.fillUnfix[k]--
+			}
+		}
+	}
+}
+
+// commitDirty applies the freshly computed shares: flows whose rate
+// actually changed are drained at their old rate up to now and their
+// completion timer is rescheduled; flows whose share is unchanged keep
+// their timer (it still fires at the exact completion instant because the
+// rate has been constant since it was scheduled). Rescheduling happens in
+// ascending flow-ID order so engine sequence numbers — the DES tie-break
+// — are assigned deterministically.
+func (s *Sim) commitDirty() {
+	sort.Sort(flowsByID(s.dirtyFlows))
 	now := s.Now()
-	// Drain progress accrued under the previous allocation.
-	for _, f := range s.active {
+	for _, f := range s.dirtyFlows {
+		if f.newRate == f.rate && f.completion != nil {
+			continue
+		}
 		f.remaining -= f.rate * (now - f.lastUpdate)
 		if f.remaining < 0 {
 			f.remaining = 0
 		}
 		f.lastUpdate = now
-	}
-
-	// Progressive filling.
-	type linkState struct {
-		capLeft float64
-		flows   map[int64]*Flow
-		nUnfix  int
-	}
-	links := make(map[topo.LinkID]*linkState, len(s.linkFlows))
-	for id, flows := range s.linkFlows {
-		if len(flows) == 0 {
-			continue
-		}
-		links[id] = &linkState{
-			capLeft: s.Topo.Link(id).Capacity,
-			flows:   flows,
-			nUnfix:  len(flows),
-		}
-	}
-	unfixed := make(map[int64]*Flow, len(s.active))
-	for id, f := range s.active {
-		unfixed[id] = f
-		f.rate = 0
-	}
-	for len(unfixed) > 0 {
-		// Find the bottleneck link: the minimum fair share among links that
-		// still carry unfixed flows.
-		bottleneck := topo.LinkID(-1)
-		minShare := math.Inf(1)
-		for id, ls := range links {
-			if ls.nUnfix == 0 {
-				continue
-			}
-			share := ls.capLeft / float64(ls.nUnfix)
-			if share < minShare {
-				minShare = share
-				bottleneck = id
-			}
-		}
-		if bottleneck < 0 {
-			// No capacitated links left (cannot happen: every flow crosses
-			// at least one link), but guard against an infinite loop.
-			for _, f := range unfixed {
-				f.rate = math.Inf(1)
-			}
-			break
-		}
-		// Fix every unfixed flow on the bottleneck at minShare.
-		for fid, f := range links[bottleneck].flows {
-			if _, ok := unfixed[fid]; !ok {
-				continue
-			}
-			f.rate = minShare
-			delete(unfixed, fid)
-			for _, l := range f.path {
-				ls := links[l]
-				ls.capLeft -= minShare
-				if ls.capLeft < 0 {
-					ls.capLeft = 0
-				}
-				ls.nUnfix--
-			}
-		}
-	}
-
-	// Reschedule completions under the new rates.
-	for _, f := range s.active {
+		f.rate = f.newRate
 		if f.completion != nil {
 			f.completion.Cancel()
 			f.completion = nil
@@ -216,6 +370,126 @@ func (s *Sim) recompute() {
 		ff := f
 		f.completion = s.Eng.After(eta, func() { s.complete(ff) })
 	}
+}
+
+type flowsByID []*Flow
+
+func (v flowsByID) Len() int           { return len(v) }
+func (v flowsByID) Less(i, j int) bool { return v[i].ID < v[j].ID }
+func (v flowsByID) Swap(i, j int)      { v[i], v[j] = v[j], v[i] }
+
+// recomputeGlobal is the pre-optimization allocator: drain every active
+// flow, refill the whole network, reschedule every completion. Kept as
+// the ablation baseline; it uses the same smallest-link-ID tie-break as
+// the incremental path so the two are comparable bit for bit.
+func (s *Sim) recomputeGlobal() {
+	now := s.Now()
+	for _, f := range s.active {
+		f.remaining -= f.rate * (now - f.lastUpdate)
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+		f.lastUpdate = now
+	}
+	rates := s.referenceRates()
+	for _, f := range s.active {
+		f.rate = rates[f.ID]
+	}
+	// Reschedule completions under the new rates, in flow-ID order for
+	// deterministic engine sequence numbers.
+	ordered := make([]*Flow, 0, len(s.active))
+	for _, f := range s.active {
+		ordered = append(ordered, f)
+	}
+	sort.Sort(flowsByID(ordered))
+	for _, f := range ordered {
+		if f.completion != nil {
+			f.completion.Cancel()
+			f.completion = nil
+		}
+		if f.rate <= 0 {
+			continue
+		}
+		eta := f.remaining / f.rate
+		ff := f
+		f.completion = s.Eng.After(eta, func() { s.complete(ff) })
+	}
+}
+
+// referenceRates computes a whole-network progressive fill from scratch
+// and returns the resulting per-flow rates without touching simulator
+// state. It is the specification the incremental allocator is verified
+// against.
+func (s *Sim) referenceRates() map[int64]float64 {
+	type linkState struct {
+		capLeft float64
+		nUnfix  int
+	}
+	links := make(map[topo.LinkID]*linkState, len(s.linkFlows))
+	for i, flows := range s.linkFlows {
+		if len(flows) == 0 {
+			continue
+		}
+		id := topo.LinkID(i)
+		links[id] = &linkState{
+			capLeft: s.Topo.Link(id).Capacity,
+			nUnfix:  len(flows),
+		}
+	}
+	rates := make(map[int64]float64, len(s.active))
+	unfixed := make(map[int64]*Flow, len(s.active))
+	for id, f := range s.active {
+		unfixed[id] = f
+	}
+	for len(unfixed) > 0 {
+		bottleneck := topo.LinkID(-1)
+		minShare := math.Inf(1)
+		for id, ls := range links {
+			if ls.nUnfix == 0 {
+				continue
+			}
+			share := ls.capLeft / float64(ls.nUnfix)
+			if share < minShare || (share == minShare && id < bottleneck) {
+				minShare = share
+				bottleneck = id
+			}
+		}
+		if bottleneck < 0 {
+			for id := range unfixed {
+				rates[id] = math.Inf(1)
+			}
+			break
+		}
+		for _, f := range s.linkFlows[bottleneck] {
+			if _, ok := unfixed[f.ID]; !ok {
+				continue
+			}
+			rates[f.ID] = minShare
+			delete(unfixed, f.ID)
+			for _, l := range f.path {
+				ls := links[l]
+				ls.capLeft -= minShare
+				if ls.capLeft < 0 {
+					ls.capLeft = 0
+				}
+				ls.nUnfix--
+			}
+		}
+	}
+	return rates
+}
+
+// verifyAgainstGlobal compares every active flow's incremental rate with
+// a fresh whole-network fill, bit for bit.
+func (s *Sim) verifyAgainstGlobal() error {
+	ref := s.referenceRates()
+	for id, f := range s.active {
+		if want := ref[id]; f.rate != want {
+			return fmt.Errorf("simnet: t=%v flow %d: incremental rate %v != global rate %v (diff %g)",
+				s.Now(), id, f.rate, want, f.rate-want)
+		}
+	}
+	return nil
 }
 
 // ActiveFlows returns the number of currently draining flows.
@@ -288,24 +562,32 @@ func (s *Sim) AddBackground(rng *rand.Rand, src, dst int, msgBytes, lambda float
 	return b
 }
 
-// CheckInvariants verifies the max-min allocation's feasibility and
-// work-conservation properties at the current instant:
+// CheckInvariants verifies the defining properties of a max-min fair
+// allocation at the current instant:
 //   - feasibility: on every link, the allocated rates sum to at most the
 //     capacity (within tolerance);
 //   - positivity: every active flow has a positive rate;
 //   - work conservation: every active flow is bottlenecked somewhere — it
-//     crosses at least one link whose capacity is (nearly) fully used.
+//     crosses at least one link whose capacity is (nearly) fully used;
+//   - max-min bottleneck condition: on that saturated link the flow's
+//     rate is at least as large as every other flow's (within tolerance),
+//     i.e. no flow could be sped up without slowing a smaller-or-equal
+//     flow — the textbook characterization of max-min fairness.
 //
 // It returns an error describing the first violation. Intended for tests.
 func (s *Sim) CheckInvariants() error {
 	const tol = 1e-6
 	used := make(map[topo.LinkID]float64)
+	maxRate := make(map[topo.LinkID]float64)
 	for _, f := range s.active {
 		if f.rate <= 0 {
 			return fmt.Errorf("simnet: active flow %d has non-positive rate %v", f.ID, f.rate)
 		}
 		for _, l := range f.path {
 			used[l] += f.rate
+			if f.rate > maxRate[l] {
+				maxRate[l] = f.rate
+			}
 		}
 	}
 	for id, u := range used {
@@ -315,15 +597,19 @@ func (s *Sim) CheckInvariants() error {
 		}
 	}
 	for _, f := range s.active {
-		bottlenecked := false
+		bottleneck := topo.LinkID(-1)
 		for _, l := range f.path {
-			if used[l] >= s.Topo.Link(l).Capacity*(1-1e-3) {
-				bottlenecked = true
-				break
+			if used[l] < s.Topo.Link(l).Capacity*(1-1e-3) {
+				continue
 			}
+			bottleneck = l
+			if f.rate*(1+tol) >= maxRate[l] {
+				break // saturated link where f is (one of) the largest flows
+			}
+			bottleneck = -1
 		}
-		if !bottlenecked {
-			return fmt.Errorf("simnet: flow %d (rate %v) is not bottlenecked on any link", f.ID, f.rate)
+		if bottleneck < 0 {
+			return fmt.Errorf("simnet: flow %d (rate %v) has no saturated path link where its rate is maximal", f.ID, f.rate)
 		}
 	}
 	return nil

@@ -280,3 +280,139 @@ func TestPropertyMaxMinInvariants(t *testing.T) {
 		}
 	}
 }
+
+// Differential test for the tentpole optimization: on seeded random
+// workloads — staggered arrivals, mixed sizes, background churn — every
+// incremental recompute must produce rates bitwise equal to a fresh
+// whole-network progressive fill over the same state. verifyGlobal makes
+// the simulator itself run the reference allocator side by side after
+// every event.
+func TestDifferentialIncrementalVsGlobal(t *testing.T) {
+	topos := []*topo.Topology{
+		topo.NewTree(topo.TreeConfig{Racks: 3, ServersPerRack: 4, IntraRackBps: 1e6, InterRackBps: 2e6, HopLatency: 1e-4}),
+		topo.NewTree(topo.TreeConfig{Racks: 4, ServersPerRack: 8, IntraRackBps: 1e8, InterRackBps: 4e8, HopLatency: 5e-5}),
+		topo.NewFatTree(topo.FatTreeConfig{K: 4, LinkBps: 1e8, HopLatency: 1e-4}),
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		for ti, tr := range topos {
+			s := New(tr)
+			s.verifyGlobal = true
+			rng := rand.New(rand.NewSource(seed))
+			srv := tr.Servers()
+			// Staggered foreground arrivals with a wide size spread so
+			// flows overlap and components merge and split repeatedly.
+			for k := 0; k < 40; k++ {
+				a := srv[rng.Intn(len(srv))]
+				b := srv[rng.Intn(len(srv))]
+				if a == b {
+					continue
+				}
+				bytes := math.Pow(10, 4+3*rng.Float64())
+				at := rng.Float64() * 2
+				aa, bb := a, b
+				s.Eng.Schedule(at, func() { s.StartFlow(aa, bb, bytes, nil) })
+			}
+			// Background churn on a few fixed pairs.
+			var bgs []*Background
+			for k := 0; k < 5; k++ {
+				a := srv[rng.Intn(len(srv))]
+				b := srv[(rng.Intn(len(srv)-1)+1+a)%len(srv)]
+				if a == b {
+					continue
+				}
+				bgs = append(bgs, s.AddBackground(rand.New(rand.NewSource(seed*100+int64(k))), a, b, 5e5, 0.05))
+			}
+			s.Eng.RunUntil(3)
+			for _, b := range bgs {
+				b.Stop()
+			}
+			s.Eng.RunUntil(6)
+			if s.verifyErr != nil {
+				t.Fatalf("seed %d topo %d: incremental diverged from global: %v", seed, ti, s.verifyErr)
+			}
+			if s.ActiveFlows() != 0 {
+				// Background flows submitted before Stop may still drain.
+				s.Eng.Run()
+			}
+			if s.verifyErr != nil {
+				t.Fatalf("seed %d topo %d (drain): %v", seed, ti, s.verifyErr)
+			}
+		}
+	}
+}
+
+// The global ablation allocator must drive the simulation to the same
+// flow completion outcomes as the incremental one (times may differ only
+// in the last ulps from drain-accrual order, so compare counts and
+// near-equal clocks).
+func TestGlobalFillAblationAgrees(t *testing.T) {
+	tr := topo.NewTree(topo.TreeConfig{Racks: 3, ServersPerRack: 4, IntraRackBps: 1e6, InterRackBps: 2e6, HopLatency: 1e-4})
+	srv := tr.Servers()
+	run := func(global bool) (int, float64) {
+		s := New(tr)
+		s.SetGlobalFill(global)
+		rng := rand.New(rand.NewSource(9))
+		completed := 0
+		for k := 0; k < 30; k++ {
+			a := srv[rng.Intn(len(srv))]
+			b := srv[rng.Intn(len(srv))]
+			if a == b {
+				continue
+			}
+			at := rng.Float64()
+			bytes := 1e5 + rng.Float64()*1e6
+			aa, bb := a, b
+			s.Eng.Schedule(at, func() {
+				s.StartFlow(aa, bb, bytes, func(float64) { completed++ })
+			})
+		}
+		s.Eng.Run()
+		return completed, s.Now()
+	}
+	nInc, tInc := run(false)
+	nGlb, tGlb := run(true)
+	if nInc != nGlb {
+		t.Fatalf("completion counts differ: incremental %d, global %d", nInc, nGlb)
+	}
+	if math.Abs(tInc-tGlb) > 1e-9*math.Max(tInc, tGlb) {
+		t.Fatalf("final clocks diverged beyond ulp noise: incremental %v, global %v", tInc, tGlb)
+	}
+}
+
+// Property test over richer seeded workloads than the static-arrival one
+// above: flows arrive over time, with background churn, and after every
+// event the allocation must satisfy feasibility, positivity, and the
+// max-min bottleneck condition.
+func TestPropertyMaxMinInvariantsChurn(t *testing.T) {
+	tr := topo.NewTree(topo.TreeConfig{Racks: 4, ServersPerRack: 4, IntraRackBps: 1e6, InterRackBps: 3e6, HopLatency: 1e-4})
+	srv := tr.Servers()
+	for seed := int64(0); seed < 8; seed++ {
+		s := New(tr)
+		rng := rand.New(rand.NewSource(seed))
+		for k := 0; k < 30; k++ {
+			a := srv[rng.Intn(len(srv))]
+			b := srv[rng.Intn(len(srv))]
+			if a == b {
+				continue
+			}
+			at := rng.Float64() * 3
+			bytes := 1e4 + rng.Float64()*2e6
+			aa, bb := a, b
+			s.Eng.Schedule(at, func() { s.StartFlow(aa, bb, bytes, nil) })
+		}
+		bg := s.AddBackground(rand.New(rand.NewSource(seed+50)), srv[0], srv[len(srv)-1], 3e5, 0.1)
+		steps := 0
+		for s.Eng.Step() {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d after %d steps: %v", seed, steps, err)
+			}
+			steps++
+			if steps > 5000 {
+				bg.Stop()
+			}
+			if steps > 200000 {
+				t.Fatal("simulation did not drain")
+			}
+		}
+	}
+}
