@@ -13,6 +13,7 @@ package netconstant_test
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"netconstant/internal/cloud"
 	"netconstant/internal/core"
@@ -27,7 +28,11 @@ import (
 	"netconstant/internal/workflow"
 )
 
-func benchCfg() exp.Config { return exp.Quick() }
+func benchCfg() exp.Config {
+	cfg := exp.Quick()
+	cfg.Clock = time.Now // benches report Fig 4's real RPCA wall clock
+	return cfg
+}
 
 // --- One benchmark per figure -------------------------------------------
 

@@ -1,0 +1,73 @@
+// Command netlint machine-checks the repo's load-bearing invariants: the
+// determinism of the measurement+analysis pipeline, NaN discipline in the
+// numeric kernels, error discipline around the typed E-APIs, and the
+// purity contract of worker goroutines. It is a multichecker over the
+// suite in internal/analysis:
+//
+//	go run ./cmd/netlint ./...
+//
+// Findings print as file:line:col: message (analyzer); a run with
+// findings exits 1, which is what makes the CI lint job blocking. A
+// finding that is deliberate is silenced in place with
+//
+//	//netlint:allow <analyzer> <reason>
+//
+// on the offending line or the line directly above; the reason is
+// mandatory and suppressions of unknown analyzers are themselves errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netconstant/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: netlint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the netlint invariant suite over the given go-list patterns\n(default ./...). Exits 1 if any finding survives //netlint:allow.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := &analysis.Loader{}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netlint:", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netlint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "netlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

@@ -122,6 +122,10 @@ func main() {
 	rep.SpeedupArena = rep.Runs[0].Seconds / rep.Runs[1].Seconds
 	rep.SpeedupParallel = rep.Runs[0].Seconds / rep.Runs[2].Seconds
 	rep.AgreementRelFro = math.Max(relFro(baselineD.D, arenaD.D), relFro(baselineD.D, parD.D))
+	if math.IsNaN(rep.AgreementRelFro) {
+		fmt.Fprintln(os.Stderr, "rpcabench: NaN agreement — a solver produced non-finite entries")
+		os.Exit(1)
+	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	must(err)

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// AllowPrefix is the suppression comment marker. A well-formed comment is
+//
+//	//netlint:allow <analyzer> <reason...>
+//
+// and silences diagnostics of exactly that analyzer on the comment's own
+// line and on the line immediately below it (so it can sit at the end of
+// the offending line or on its own line directly above). The reason is
+// mandatory: an unexplained suppression is itself a finding.
+const AllowPrefix = "//netlint:allow"
+
+// AllowAnalyzerName tags diagnostics about the suppression comments
+// themselves (malformed, missing reason, unknown analyzer). These cannot
+// be suppressed.
+const AllowAnalyzerName = "netlint-allow"
+
+// allowKey identifies one (file, line, analyzer) suppression.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows scans the comment maps of files for AllowPrefix comments.
+// known maps valid analyzer names; an allow naming anything else, or
+// lacking a reason, is returned as a diagnostic instead of a suppression.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (map[allowKey]bool, []Diagnostic) {
+	allows := map[allowKey]bool{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, AllowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //netlint:allowed — not ours.
+					continue
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "malformed netlint:allow: missing analyzer name and reason",
+						Analyzer: AllowAnalyzerName,
+					})
+					continue
+				case !known[fields[0]]:
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "netlint:allow names unknown analyzer " + strconv.Quote(fields[0]),
+						Analyzer: AllowAnalyzerName,
+					})
+					continue
+				case len(fields) < 2:
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "netlint:allow " + fields[0] + " needs a reason",
+						Analyzer: AllowAnalyzerName,
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return allows, bad
+}
+
+// filterAllowed drops diagnostics covered by an allow on the same line or
+// the line above.
+func filterAllowed(fset *token.FileSet, diags []Diagnostic, allows map[allowKey]bool) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if allows[allowKey{pos.Filename, pos.Line, d.Analyzer}] ||
+			allows[allowKey{pos.Filename, pos.Line - 1, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,6 @@
+package analysis
+
+// All returns the netlint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Floatsafe, Checkederr, Goroutinepurity}
+}

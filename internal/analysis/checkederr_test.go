@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"netconstant/internal/analysis"
+	"netconstant/internal/analysis/analysistest"
+)
+
+func TestCheckederr(t *testing.T) {
+	analysistest.Run(t, "testdata", "checkederr/a", analysis.Checkederr)
+}

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"netconstant/internal/analysis"
+	"netconstant/internal/analysis/analysistest"
+)
+
+// The fixture's import path is internal/exp, so the path-restricted
+// checks fire exactly as they do on netconstant/internal/exp.
+func TestDeterminismRestricted(t *testing.T) {
+	analysistest.Run(t, "testdata", "internal/exp", analysis.Determinism)
+}
+
+// The same constructs under a cmd/ path produce no diagnostics: timing
+// and global rand are legal outside the pipeline packages.
+func TestDeterminismUnrestricted(t *testing.T) {
+	analysistest.Run(t, "testdata", "cmd/xbench", analysis.Determinism)
+}

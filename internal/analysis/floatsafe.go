@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatsafe mirrors the Inf/NaN bugs fixed in PRs 2–3 (the sequential
+// calibration Inf-cost bug, the FNFTree hang on NaN weight cells, the
+// stats quantile/histogram NaN panics): a NaN that slips into the RPCA or
+// simulation pipeline poisons every downstream table silently, because
+// float comparisons and math.Max/Min never trap on it. Repo-wide (tests
+// excluded) it flags:
+//
+//   - `==` / `!=` where an operand is floating point — NaN != NaN, and
+//     exact equality after arithmetic is fragile;
+//   - math.Max / math.Min calls — both propagate NaN without a trace.
+//
+// Two escape hatches keep the signal high: a comparison or Max/Min whose
+// operand is a compile-time constant is exempt (sentinel checks like
+// `x == 0` and clamps like `math.Max(1, x)` are deliberate), and a
+// function that calls math.IsNaN or math.IsInf anywhere in its body is
+// treated as NaN-aware and exempt throughout.
+var Floatsafe = &Analyzer{
+	Name: "floatsafe",
+	Doc:  "flag NaN-oblivious float equality and math.Max/Min outside IsNaN-guarded functions",
+	Run:  runFloatsafe,
+}
+
+func runFloatsafe(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			guarded := hasNaNGuard(pass.TypesInfo, decl)
+			if guarded {
+				continue
+			}
+			checkFloatsafeDecl(pass, decl)
+		}
+	}
+	return nil
+}
+
+// hasNaNGuard reports whether decl contains a math.IsNaN or math.IsInf
+// call — the "IsNaN guard in the same function" exemption. Granularity is
+// the top-level declaration, so closures inherit their parent's guard.
+func hasNaNGuard(info *types.Info, decl ast.Decl) bool {
+	found := false
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if pkg, fn, ok := pkgFuncCall(info, call); ok && pkg == "math" && (fn == "IsNaN" || fn == "IsInf") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func checkFloatsafeDecl(pass *Pass, decl ast.Decl) {
+	ast.Inspect(decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if !isFloat(pass.TypesInfo.TypeOf(n.X)) && !isFloat(pass.TypesInfo.TypeOf(n.Y)) {
+				return true
+			}
+			if isConstExpr(pass.TypesInfo, n.X) || isConstExpr(pass.TypesInfo, n.Y) {
+				return true // sentinel comparison against a literal
+			}
+			pass.Reportf(n.OpPos,
+				"float %s comparison is NaN-oblivious (NaN %s NaN is %v): compare with a tolerance or add a math.IsNaN guard to this function",
+				n.Op, n.Op, n.Op == token.NEQ)
+		case *ast.CallExpr:
+			pkg, fn, ok := pkgFuncCall(pass.TypesInfo, n)
+			if !ok || pkg != "math" || (fn != "Max" && fn != "Min") {
+				return true
+			}
+			for _, arg := range n.Args {
+				if isConstExpr(pass.TypesInfo, arg) {
+					return true // clamp against a constant bound
+				}
+			}
+			pass.Reportf(n.Pos(),
+				"math.%s propagates NaN silently: add a math.IsNaN guard to this function or clamp against a constant",
+				fn)
+		}
+		return true
+	})
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

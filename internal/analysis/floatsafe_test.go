@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"netconstant/internal/analysis"
+	"netconstant/internal/analysis/analysistest"
+)
+
+func TestFloatsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", "floatsafe/a", analysis.Floatsafe)
+}

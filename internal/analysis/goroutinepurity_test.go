@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"netconstant/internal/analysis"
+	"netconstant/internal/analysis/analysistest"
+)
+
+// The fixture's import path is internal/mat, one of the two packages the
+// purity contract covers.
+func TestGoroutinepurityRestricted(t *testing.T) {
+	analysistest.Run(t, "testdata", "internal/mat", analysis.Goroutinepurity)
+}
+
+// Outside internal/{exp,mat} a mutex-guarded captured accumulator is
+// legal and must not be flagged.
+func TestGoroutinepurityUnrestricted(t *testing.T) {
+	analysistest.Run(t, "testdata", "pkg/worker", analysis.Goroutinepurity)
+}

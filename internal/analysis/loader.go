@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// A Loader parses and type-checks packages from source. All packages
+// loaded through one Loader share a FileSet and an importer, so a
+// dependency is type-checked at most once per Loader.
+//
+// Dependencies (standard library and intra-module alike) are resolved by
+// go/importer's source compiler, which shells out to the go command for
+// module-path resolution; the Loader therefore needs a working directory
+// inside the target module. No compiled export data and no network are
+// required.
+type Loader struct {
+	// Dir is the directory `go list` runs in; it must be inside the
+	// module whose packages are being loaded. Empty means the process
+	// working directory.
+	Dir string
+
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+func (l *Loader) init() {
+	if l.fset == nil {
+		l.fset = token.NewFileSet()
+		l.imp = importer.ForCompiler(l.fset, "source", nil)
+	}
+}
+
+// goListPkg is the subset of `go list -json` output the loader consumes.
+type goListPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+}
+
+// Load expands the go-list patterns (e.g. "./...") and returns the matched
+// packages, parsed with comments and fully type-checked. Test files are
+// excluded: the invariants netlint enforces are about shipped code, and
+// tests legitimately compare floats exactly or measure wall-clock time.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.init()
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w", strings.Join(patterns, " "), err)
+	}
+	var metas []goListPkg
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var m goListPkg
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].ImportPath < metas[j].ImportPath })
+	pkgs := make([]*Package, 0, len(metas))
+	for _, m := range metas {
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(m.GoFiles))
+		for i, f := range m.GoFiles {
+			files[i] = filepath.Join(m.Dir, f)
+		}
+		pkg, err := l.check(m.ImportPath, m.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// CheckDir type-checks every non-test .go file in dir as a package with
+// import path pkgPath. The path matters: path-restricted analyzers
+// (determinism, goroutinepurity) key off it, so fixtures under
+// testdata/src/internal/exp can exercise the restricted behaviour without
+// living in the real package.
+func (l *Loader) CheckDir(dir, pkgPath string) (*Package, error) {
+	l.init()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, n))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.check(pkgPath, dir, files)
+}
+
+func (l *Loader) check(pkgPath, dir string, filenames []string) (*Package, error) {
+	syntax := make([]*ast.File, 0, len(filenames))
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(pkgPath, l.fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   syntax,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

@@ -1,0 +1,57 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"netconstant/internal/analysis"
+)
+
+func TestLoaderLoad(t *testing.T) {
+	l := &analysis.Loader{}
+	pkgs, err := l.Load("netconstant/internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, expected 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "netconstant/internal/stats" {
+		t.Errorf("PkgPath = %q", pkg.PkgPath)
+	}
+	if len(pkg.Files) == 0 || pkg.Types == nil || pkg.Info == nil {
+		t.Errorf("package not fully loaded: files=%d types=%v", len(pkg.Files), pkg.Types)
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if len(name) == 0 {
+			t.Error("file with no position info")
+		}
+	}
+}
+
+// The whole repo must be clean under the full suite — the in-tree twin of
+// the CI lint gate. Skipped under -short: it type-checks every package
+// from source.
+func TestRepoCleanUnderNetlint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint sweep skipped in -short mode")
+	}
+	l := &analysis.Loader{}
+	pkgs, err := l.Load("netconstant/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analysis.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s (%s)", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+}

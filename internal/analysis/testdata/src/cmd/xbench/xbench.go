@@ -1,0 +1,19 @@
+package xbench
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Outside internal/{exp,simnet,cloud,rpca} the determinism analyzer stays
+// silent: benches are supposed to read the wall clock, and a tool's
+// progress output may iterate maps freely. No diagnostics expected in
+// this package.
+func timing(m map[string]float64) (float64, float64, int) {
+	start := time.Now()
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return time.Since(start).Seconds(), sum, rand.Int()
+}

@@ -1,0 +1,67 @@
+package a
+
+import "math"
+
+// Failing constructs.
+
+func badEqual(x, y float64) bool {
+	return x == y // want `float == comparison is NaN-oblivious`
+}
+
+func badNotEqual(x, y float64) bool {
+	return x != y // want `float != comparison is NaN-oblivious`
+}
+
+func badMax(x, y float64) float64 {
+	return math.Max(x, y) // want `math.Max propagates NaN`
+}
+
+func badMin(x, y float64) float64 {
+	return math.Min(x, y) // want `math.Min propagates NaN`
+}
+
+type meters float64
+
+// Named float types are still floats.
+func badNamed(a, b meters) bool {
+	return a != b // want `float != comparison is NaN-oblivious`
+}
+
+func badFloat32(x, y float32) bool {
+	return x == y // want `float == comparison is NaN-oblivious`
+}
+
+// Fixed counterparts.
+
+// Sentinel comparison against a compile-time constant is deliberate.
+func goodSentinel(x float64) bool {
+	return x == 0
+}
+
+// Clamping against a constant bound cannot pick a surprise NaN branch.
+func goodClamp(x float64) float64 {
+	return math.Max(1, x)
+}
+
+// A function that guards with math.IsNaN is NaN-aware throughout.
+func goodGuarded(x, y float64) float64 {
+	if math.IsNaN(x) || math.IsNaN(y) {
+		return 0
+	}
+	if x == y {
+		return math.Min(x, y)
+	}
+	return x
+}
+
+// math.IsInf counts as a guard too.
+func goodInfGuarded(x, y float64) bool {
+	if math.IsInf(x, 0) {
+		return false
+	}
+	return x == y
+}
+
+func intsAreFine(a, b int) bool { return a == b }
+
+func stringsAreFine(a, b string) bool { return a != b }

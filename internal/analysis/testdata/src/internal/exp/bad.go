@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Table mimics the repo's figure table builder: the analyzer keys on the
+// AddRow/AddNote method names.
+type Table struct{ rows [][]string }
+
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *Table) AddNote(format string, args ...any) {}
+
+func wallClock() (time.Time, float64) {
+	start := time.Now()    // want `wall-clock time.Now`
+	d := time.Since(start) // want `wall-clock time.Since`
+	return start, d.Seconds()
+}
+
+func globalRand(n int) (int, float64) {
+	i := rand.Intn(n)   // want `global math/rand.Intn`
+	f := rand.Float64() // want `global math/rand.Float64`
+	return i, f
+}
+
+func mapAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `order-dependent accumulation into sum`
+	}
+	return sum
+}
+
+func mapConcat(m map[string]float64) string {
+	var s string
+	for k := range m {
+		s += k // want `order-dependent accumulation into s`
+	}
+	return s
+}
+
+func mapAppend(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want `append to out under map iteration`
+	}
+	return out
+}
+
+func mapEmit(t *Table, m map[string]float64) {
+	for k, v := range m {
+		t.AddRow(k)       // want `AddRow during map iteration`
+		fmt.Println(k, v) // want `fmt.Println during map iteration`
+	}
+}
+
+// Indexing by something other than the range key is still order-dependent:
+// the slot written in iteration 1 depends on which key came first.
+func mapWrongIndex(m map[string]float64, out []float64) []float64 {
+	i := 0
+	for _, v := range m {
+		out = append(out[:i], v) // want `append to out under map iteration`
+		i++
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Fixed counterparts of bad.go: every construct here is the sanctioned
+// deterministic idiom and must produce no diagnostics.
+
+// Injected clock: the caller decides whether real time exists at all.
+func injectedClock(clock func() time.Time) float64 {
+	if clock == nil {
+		return 0
+	}
+	start := clock()
+	return clock().Sub(start).Seconds()
+}
+
+// Explicitly seeded generator: rand.New/NewSource are constructors, not
+// draws from the process-global stream.
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Collect-then-sort: the append happens under map iteration but the slice
+// is sorted before anything order-sensitive reads it.
+func sortedKeys(m map[string]float64, t *Table) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+		t.AddRow(k)
+	}
+	return sum
+}
+
+// Key-indexed writes touch a distinct cell per iteration, so order cannot
+// matter; integer accumulation commutes exactly.
+func keyIndexed(m map[string]float64, out map[string]float64, counts map[string]int) int {
+	n := 0
+	for k, v := range m {
+		out[k] = v * 2
+		counts[k]++
+		n += 1
+	}
+	return n
+}
+
+type acc struct{ total float64 }
+
+// Writes through the range value variable hit a distinct element per
+// iteration.
+func valueVar(m map[string]*acc) {
+	for _, a := range m {
+		a.total += 1.5
+	}
+}
+
+// Loop-local accumulators are reset every iteration.
+func loopLocal(m map[string][]float64, out map[string]float64) {
+	for k, vs := range m {
+		var sum float64
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+}

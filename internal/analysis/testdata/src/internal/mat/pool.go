@@ -1,0 +1,135 @@
+package mat
+
+import "sync"
+
+// Failing constructs: goroutine bodies mutating captured state whose final
+// value depends on interleaving (these fixtures are type-checked, never
+// run — the data races are the point).
+
+func badCapturedScalar(xs []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum += xs[i] // want `goroutine writes captured variable sum`
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+func badCapturedMap(xs []float64) map[int]float64 {
+	out := make(map[int]float64, len(xs))
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = xs[i] * 2 // want `goroutine writes captured map out`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+type state struct{ n int }
+
+func badCapturedField(s *state) {
+	done := make(chan struct{})
+	go func() {
+		s.n = 42 // want `goroutine writes field n of captured s`
+		close(done)
+	}()
+	<-done
+}
+
+func badCapturedPointer(p *float64) {
+	done := make(chan struct{})
+	go func() {
+		*p = 1 // want `goroutine writes through captured pointer p`
+		close(done)
+	}()
+	<-done
+}
+
+func badIncDec() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n++ // want `goroutine writes captured variable n`
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+// A nested (non-go) closure still runs on the goroutine: its writes count.
+func badNestedClosure(xs []float64) float64 {
+	var sum float64
+	done := make(chan struct{})
+	go func() {
+		add := func(v float64) {
+			sum += v // want `goroutine writes captured variable sum`
+		}
+		for _, v := range xs {
+			add(v)
+		}
+		close(done)
+	}()
+	<-done
+	return sum
+}
+
+// Fixed counterparts.
+
+// The sanctioned pattern: publish through index-addressed slice slots,
+// keep everything else closure-local.
+func goodIndexedSlots(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := xs[i] * 2
+			out[i] = local
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Channel sends are synchronization, not captured writes.
+func goodChannel(xs []float64) float64 {
+	ch := make(chan float64, len(xs))
+	for i := range xs {
+		go func() {
+			ch <- xs[i]
+		}()
+	}
+	var sum float64
+	for range xs {
+		sum += <-ch
+	}
+	return sum
+}
+
+// Compound assignment to a slot of a captured slice is still
+// index-addressed.
+func goodSlotAccumulate(xs []float64, rounds int) []float64 {
+	out := make([]float64, len(xs))
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				out[i] += xs[i]
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,24 @@
+package worker
+
+import "sync"
+
+// Outside internal/exp and internal/mat the purity contract is not
+// enforced: a mutex-guarded accumulator is a legitimate pattern where
+// byte-identical ordering is not the deliverable. No diagnostics expected
+// in this package.
+func Sum(xs []float64) float64 {
+	var mu sync.Mutex
+	var sum float64
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			sum += xs[i]
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return sum
+}

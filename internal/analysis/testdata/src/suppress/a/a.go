@@ -1,0 +1,32 @@
+package a
+
+// Suppression semantics: //netlint:allow <analyzer> <reason> silences
+// exactly the named analyzer, on its own line and the line below, and
+// nothing else.
+
+// The annotated line carries violations from two analyzers; the allow
+// names only floatsafe, so checkederr's diagnostic must survive.
+func perAnalyzer(i int, x, y float64) bool {
+	var ok bool
+	//netlint:allow floatsafe fixture: suppression is per-analyzer
+	_ = i; ok = x == y // want `dead blank assignment: _ = i has no effect`
+	return ok
+}
+
+// Same-line form.
+func sameLine(x, y float64) bool {
+	return x == y //netlint:allow floatsafe fixture: same-line suppression
+}
+
+// An allow naming a different analyzer does not suppress this one.
+func wrongAnalyzer(x, y float64) bool {
+	//netlint:allow checkederr fixture: names a different analyzer
+	return x == y // want `float == comparison is NaN-oblivious`
+}
+
+// An allow more than one line above is out of range.
+func tooFar(x, y float64) bool {
+	//netlint:allow floatsafe fixture: one blank line breaks adjacency
+
+	return x == y // want `float == comparison is NaN-oblivious`
+}

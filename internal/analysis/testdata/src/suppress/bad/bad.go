@@ -1,0 +1,14 @@
+package bad
+
+// Each comment below is a broken suppression; the driver reports all
+// three as netlint-allow findings (asserted directly in suppress_test.go,
+// since a line comment cannot carry a second comment with the
+// expectation).
+
+//netlint:allow
+
+//netlint:allow nosuchanalyzer some reason
+
+//netlint:allow floatsafe
+
+func placeholder() {}

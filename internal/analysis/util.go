@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pkgFuncCall reports whether call invokes a package-level function of an
+// imported package, returning that package's import path and the function
+// name (e.g. "time", "Now").
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	id, okID := sel.X.(*ast.Ident)
+	if !okID {
+		return "", "", false
+	}
+	pn, okPN := info.Uses[id].(*types.PkgName)
+	if !okPN {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// pathHasSuffixSegments reports whether pkgPath ends with, or contains,
+// the given consecutive path segments — so "netconstant/internal/exp" and
+// a fixture loaded as "internal/exp" both match ("internal", "exp"), while
+// "internal/expando" does not.
+func pathHasSegments(pkgPath string, segs ...string) bool {
+	parts := strings.Split(pkgPath, "/")
+	for i := 0; i+len(segs) <= len(parts); i++ {
+		match := true
+		for j, s := range segs {
+			if parts[i+j] != s {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// isFloat reports whether t's core type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// calleeName returns the bare name of the called function or method —
+// "CostE" for both mapping.CostE(...) and s.CostE(...) — or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() != 0 &&
+		obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}

@@ -172,6 +172,7 @@ type timerHeap []*Timer
 
 func (h timerHeap) Len() int { return len(h) }
 func (h timerHeap) Less(i, j int) bool {
+	//netlint:allow floatsafe exact inequality implements (time, seq) lexicographic order; At is validated finite when timers are scheduled
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}

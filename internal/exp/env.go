@@ -2,6 +2,7 @@ package exp
 
 import (
 	"math/rand"
+	"time"
 
 	"netconstant/internal/cloud"
 	"netconstant/internal/core"
@@ -41,6 +42,13 @@ type Config struct {
 	// Workers bounds how many sweep points run concurrently (0 =
 	// GOMAXPROCS). Output tables are byte-identical at any setting.
 	Workers int
+	// Clock, when non-nil, supplies wall-clock readings for the few
+	// results that are *about* real time (Fig 4's "< 1 min per RPCA"
+	// claim). It is nil by default so internal/exp performs no wall-clock
+	// reads — the determinism analyzer (cmd/netlint) enforces that — and
+	// the affected cells report as skipped; cmd/expdriver injects
+	// time.Now.
+	Clock func() time.Time
 	// Memo, when non-nil, caches calibration traces across figures:
 	// identical (provider config, cluster size, seeds, calibration
 	// procedure) tuples are measured once per driver run and replayed.

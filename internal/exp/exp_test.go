@@ -3,6 +3,7 @@ package exp
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"netconstant/internal/core"
 )
@@ -28,7 +29,9 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestFig4CalibrationShape(t *testing.T) {
-	res, err := Fig4Calibration(quick(), []int{16, 64, 196})
+	cfg := quick()
+	cfg.Clock = time.Now // the test asserts the paper's "< 1 min" wall-clock claim
+	res, err := Fig4Calibration(cfg, []int{16, 64, 196})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 
 	"netconstant/internal/cloud"
@@ -192,7 +194,17 @@ func Fig13Simulation(cfg Config, bgLambda, bgBytes float64) (*Fig13Result, error
 			} else {
 				assign = mapping.RingMapping(n)
 			}
-			mels[si], _ = mapping.Cost(in.task, assign, in.snapPerf)
+			mel, _, err := mapping.CostE(in.task, assign, in.snapPerf)
+			if err != nil {
+				return fmt.Errorf("fig13 run %d strategy %v: %w", r, s, err)
+			}
+			if math.IsNaN(mel) || math.IsInf(mel, 0) {
+				// A degraded weight matrix (unmeasured pairs left at
+				// NaN/Inf) would otherwise flow into the table as a
+				// plausible-looking MEL point.
+				return fmt.Errorf("fig13 run %d strategy %v: degraded weight matrix yields non-finite MEL %v", r, s, mel)
+			}
+			mels[si] = mel
 		}
 		mapElapsed[r] = mels
 		return nil

@@ -255,7 +255,7 @@ func TopologyAwareTree(t *topo.Topology, hosts []int, root int) *Tree {
 	}
 
 	// Intra-rack binomial trees below each representative.
-	for i, rk := range rackOrder {
+	for _, rk := range rackOrder {
 		members := rackMembers[rk]
 		nm := len(members)
 		for mask := 1; mask < nm; mask <<= 1 {
@@ -263,7 +263,6 @@ func TopologyAwareTree(t *topo.Topology, hosts []int, root int) *Tree {
 				tree.addEdge(members[rel], members[rel+mask])
 			}
 		}
-		_ = i
 	}
 	return tree
 }

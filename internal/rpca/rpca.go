@@ -133,6 +133,7 @@ func DecomposeFullSVT(a *mat.Dense, opts Options) (*Result, error) {
 		dPrev, d = d, dNext
 		ePrev, e = e, eNext
 		tPrev, t = t, (1+math.Sqrt(1+4*t*t))/2
+		//netlint:allow floatsafe mu and eta are solver constants and muBar derives from norms of the entry-validated (NaN/Inf-rejected) input
 		mu = math.Max(eta*mu, muBar)
 
 		res.Iterations = k + 1

@@ -105,6 +105,7 @@ func (it *apgIter) step() (num float64, rank int) {
 	s.d, s.dPrev = s.dPrev, s.d
 	s.e, s.ePrev = s.ePrev, s.e
 	it.tPrev, it.t = it.t, (1+math.Sqrt(1+4*it.t*it.t))/2
+	//netlint:allow floatsafe mu/eta/muBar are solver constants seeded from norms of the entry-validated (NaN/Inf-rejected) input
 	it.mu = math.Max(it.eta*it.mu, it.muBar)
 	return num, rank
 }
@@ -219,6 +220,7 @@ func (it *ialmIter) step() (resid float64, rank int) {
 		}
 	}
 	mat.AddScaledInPlace(s.y, it.mu, s.z)
+	//netlint:allow floatsafe mu/rho/muBar are solver constants seeded from norms of the entry-validated (NaN/Inf-rejected) input
 	it.mu = math.Min(it.rho*it.mu, it.muBar)
 
 	if it.masked {
@@ -300,6 +302,7 @@ func ialmParams(a *mat.Dense, opts IALMOptions) (lambda, mu, muBar, rho, tol flo
 		maxIter = 1000
 	}
 	normAF = a.NormFrobenius()
+	//netlint:allow floatsafe both operands are norms of the entry-validated (NaN/Inf-rejected) input, hence finite
 	scale = math.Max(normA2, a.NormMax()/lambda)
 	return lambda, mu, muBar, rho, tol, maxIter, normAF, scale, false
 }

@@ -299,6 +299,7 @@ func (s *Sim) fillDirty() {
 				continue
 			}
 			share := s.fillCap[k] / float64(s.fillUnfix[k])
+			//netlint:allow floatsafe exact equality is the smallest-link-ID tie-break; shares of equal links are bit-identical quotients and capacities are validated finite at AddLink
 			if share < minShare || (share == minShare && l < bestLink) {
 				minShare = share
 				best = k
@@ -350,6 +351,7 @@ func (s *Sim) commitDirty() {
 	sort.Sort(flowsByID(s.dirtyFlows))
 	now := s.Now()
 	for _, f := range s.dirtyFlows {
+		//netlint:allow floatsafe skip-if-unchanged wants bit-identity: a rate recomputed to the same bits must not reschedule the completion timer
 		if f.newRate == f.rate && f.completion != nil {
 			continue
 		}
@@ -449,6 +451,7 @@ func (s *Sim) referenceRates() map[int64]float64 {
 				continue
 			}
 			share := ls.capLeft / float64(ls.nUnfix)
+			//netlint:allow floatsafe exact equality is the smallest-link-ID tie-break mirroring the incremental allocator bit for bit
 			if share < minShare || (share == minShare && id < bottleneck) {
 				minShare = share
 				bottleneck = id
@@ -484,6 +487,7 @@ func (s *Sim) referenceRates() map[int64]float64 {
 func (s *Sim) verifyAgainstGlobal() error {
 	ref := s.referenceRates()
 	for id, f := range s.active {
+		//netlint:allow floatsafe this differential check is bit-for-bit by design: incremental and global fills must agree exactly, not within tolerance
 		if want := ref[id]; f.rate != want {
 			return fmt.Errorf("simnet: t=%v flow %d: incremental rate %v != global rate %v (diff %g)",
 				s.Now(), id, f.rate, want, f.rate-want)
@@ -577,9 +581,17 @@ func (s *Sim) AddBackground(rng *rand.Rand, src, dst int, msgBytes, lambda float
 // It returns an error describing the first violation. Intended for tests.
 func (s *Sim) CheckInvariants() error {
 	const tol = 1e-6
+	// Walk flows in ID order: link utilization sums then accumulate in a
+	// fixed order (float addition does not commute across reorderings)
+	// and the first violation reported is the same on every run.
+	flows := make([]*Flow, 0, len(s.active))
+	for _, f := range s.active {
+		flows = append(flows, f)
+	}
+	sort.Sort(flowsByID(flows))
 	used := make(map[topo.LinkID]float64)
 	maxRate := make(map[topo.LinkID]float64)
-	for _, f := range s.active {
+	for _, f := range flows {
 		if f.rate <= 0 {
 			return fmt.Errorf("simnet: active flow %d has non-positive rate %v", f.ID, f.rate)
 		}
@@ -590,13 +602,19 @@ func (s *Sim) CheckInvariants() error {
 			}
 		}
 	}
-	for id, u := range used {
+	links := make([]topo.LinkID, 0, len(used))
+	for id := range used {
+		links = append(links, id)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	for _, id := range links {
+		u := used[id]
 		capac := s.Topo.Link(id).Capacity
 		if u > capac*(1+tol) {
 			return fmt.Errorf("simnet: link %d oversubscribed: %v > %v", id, u, capac)
 		}
 	}
-	for _, f := range s.active {
+	for _, f := range flows {
 		bottleneck := topo.LinkID(-1)
 		for _, l := range f.path {
 			if used[l] < s.Topo.Link(l).Capacity*(1-1e-3) {
