@@ -1,0 +1,97 @@
+// Command chaossoak runs seeded randomized fault campaigns against the
+// repository's crash-safety and degradation invariants: journal
+// recovery integrity, resume-equals-fresh byte identity, and the
+// calibration-health fallback ladder under injected faults.
+//
+// Usage:
+//
+//	chaossoak [-seed N] [-rounds N] [-maxops N] [-replay plan.json] [-out report.json]
+//
+// Every campaign is fully determined by (seed, rounds, maxops): the same
+// flags replay the identical op schedule, so a CI failure reproduces
+// anywhere. When a round breaks an invariant, the soak shrinks the
+// failing plan to a minimal reproducer (greedy delta debugging) and
+// prints it as JSON; feed that file back with -replay to re-run exactly
+// that plan. Exit status: 0 all invariants held, 1 violations found,
+// 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"netconstant/internal/chaos"
+	"netconstant/internal/checkpoint"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	seed := flag.Int64("seed", 1, "campaign seed (same seed, same campaign)")
+	rounds := flag.Int("rounds", 3, "fault campaigns to run")
+	maxOps := flag.Int("maxops", 6, "maximum ops per generated plan")
+	replay := flag.String("replay", "", "re-run one plan from this JSON file instead of generating a campaign")
+	out := flag.String("out", "", "also write the campaign report as JSON to this path (atomically)")
+	flag.Parse()
+
+	if *replay != "" {
+		buf, err := os.ReadFile(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaossoak: %v\n", err)
+			return 2
+		}
+		var plan chaos.Plan
+		if err := json.Unmarshal(buf, &plan); err != nil {
+			fmt.Fprintf(os.Stderr, "chaossoak: %s: %v\n", *replay, err)
+			return 2
+		}
+		fmt.Printf("replaying %s\n", plan)
+		fails := chaos.RunOracles(plan)
+		if len(fails) == 0 {
+			fmt.Println("all invariants held")
+			return 0
+		}
+		for _, f := range fails {
+			fmt.Printf("FAIL %s\n", f)
+		}
+		return 1
+	}
+
+	if *rounds < 1 || *maxOps < 1 {
+		fmt.Fprintln(os.Stderr, "chaossoak: -rounds and -maxops must be ≥ 1")
+		return 2
+	}
+	rep := chaos.Campaign(*seed, *rounds, *maxOps)
+	fmt.Print(rep)
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaossoak: %v\n", err)
+			return 1
+		}
+		if err := checkpoint.WriteFileAtomic(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "chaossoak: %v\n", err)
+			return 1
+		}
+	}
+
+	failed := rep.Failed()
+	if len(failed) == 0 {
+		fmt.Println("all invariants held")
+		return 0
+	}
+
+	// Shrink the first failing plan to a minimal reproducer.
+	first := failed[0]
+	fmt.Printf("\nshrinking failing plan from round %d…\n", first.Round)
+	minimal := chaos.Shrink(first.Plan, chaos.RunOracles)
+	buf, err := json.MarshalIndent(minimal, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaossoak: %v\n", err)
+		return 1
+	}
+	fmt.Printf("minimal reproducer (%s) — save and re-run with -replay:\n%s\n", minimal, buf)
+	return 1
+}

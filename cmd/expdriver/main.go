@@ -5,7 +5,8 @@
 // Usage:
 //
 //	expdriver [-full] [-only fig7,fig13] [-md EXPERIMENTS.md] [-seed N]
-//	          [-workers N] [-nomemo] [-cpuprofile out.pprof] [-memprofile out.pprof]
+//	          [-workers N] [-nomemo] [-ckpt dir] [-resume dir]
+//	          [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // The default "quick" profile runs every experiment at reduced scale in
 // well under a minute; -full uses the paper's scales (196 VMs, 1024-node
@@ -15,33 +16,54 @@
 // tables are byte-identical at any worker count. Calibration traces are
 // memoized across figures (disable with -nomemo to reproduce the
 // pre-memoization numbers).
+//
+// Crash safety: with -ckpt dir every completed sweep point and finished
+// figure is journaled (fsynced, CRC-framed) into dir, so the process can
+// be SIGKILLed at any moment and restarted with -resume dir — finished
+// work replays from the journal and the final tables are byte-identical
+// to an uninterrupted run, even at a different -workers setting.
+// SIGINT/SIGTERM drain gracefully: in-flight sweep points finish and
+// journal, partial outputs are written atomically, and the driver exits
+// with status 130; a second signal force-quits immediately.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"netconstant/internal/cancel"
+	"netconstant/internal/checkpoint"
 	"netconstant/internal/cloud"
 	"netconstant/internal/exp"
 )
 
 func main() { os.Exit(run()) }
 
-// run holds the whole driver so deferred profile writers execute before
-// the process exits with the figure-level status code.
+// run holds the whole driver so deferred profile writers and the
+// checkpoint journal close before the process exits with the
+// figure-level status code.
 func run() int {
 	full := flag.Bool("full", false, "run at the paper's scale (196 VMs, 100 reps; slow)")
 	only := flag.String("only", "", "comma-separated figure list, e.g. fig7,fig13")
-	md := flag.String("md", "", "also write a markdown report to this path")
-	jsonOut := flag.String("json", "", "also write machine-readable results (JSON lines) to this path")
+	md := flag.String("md", "", "also write a markdown report to this path (atomically)")
+	jsonOut := flag.String("json", "", "also write machine-readable results (JSON lines) to this path (atomically)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	workers := flag.Int("workers", 0, "concurrent sweep points per figure (0 = GOMAXPROCS); results are byte-identical at any setting")
 	nomemo := flag.Bool("nomemo", false, "disable the calibration-trace memo (each figure measures its own calibration)")
+	ckptDir := flag.String("ckpt", "", "journal completed sweep points and figures into this directory (crash-safe; resume with -resume)")
+	resume := flag.String("resume", "", "resume from this checkpoint directory (must hold a journal from a matching run)")
+	crashAfter := flag.Int("crashafter", 0, "testing aid: SIGKILL the process after N journaled sweep points")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
@@ -57,6 +79,69 @@ func run() int {
 	cfg.Clock = time.Now
 	if !*nomemo {
 		cfg.Memo = cloud.NewCalibrationMemo(0)
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the run context
+	// (workers drain, in-flight points journal, partial outputs flush); a
+	// second one force-quits.
+	ctx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	cfg.Ctx = ctx
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		s, ok := <-sigCh
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "expdriver: %v — draining in-flight sweep points (signal again to force quit)\n", s)
+		cancelRun()
+		if s, ok := <-sigCh; ok {
+			fmt.Fprintf(os.Stderr, "expdriver: %v again — forcing exit\n", s)
+			os.Exit(130)
+		}
+	}()
+
+	dir := *ckptDir
+	if *resume != "" {
+		dir = *resume
+		if _, err := os.Stat(filepath.Join(dir, exp.JournalName)); err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: -resume %s: no checkpoint journal there (%v)\n", dir, err)
+			return 2
+		}
+	}
+	var ckpt *exp.Checkpoint
+	if dir != "" {
+		var err error
+		ckpt, err = exp.OpenCheckpoint(dir, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: checkpoint %s: %v\n", dir, err)
+			return 1
+		}
+		defer ckpt.Close()
+		cfg.Ckpt = ckpt
+		if st := ckpt.Stats(); st.ResumedPoints > 0 || st.ResumedFigures > 0 {
+			fmt.Fprintf(os.Stderr, "expdriver: resuming from %s: %d sweep points and %d figures journaled\n",
+				dir, st.ResumedPoints, st.ResumedFigures)
+		}
+	}
+
+	if *crashAfter > 0 {
+		target := int64(*crashAfter)
+		var journaled atomic.Int64
+		cfg.PointHook = func(string, int) {
+			if journaled.Add(1) == target {
+				// Simulate a hard crash mid-run: SIGKILL ourselves right
+				// after the Nth point hit the journal, then park this worker
+				// so no further point can slip in before death.
+				p, err := os.FindProcess(os.Getpid())
+				if err == nil {
+					p.Kill()
+				}
+				select {}
+			}
+		}
 	}
 
 	want := map[string]bool{}
@@ -116,19 +201,7 @@ func run() int {
 	fmt.Fprintf(&mdOut, "Profile: quick=%v, VMs=%d, runs=%d, seed=%d. Generated by `cmd/expdriver`.\n\n",
 		!*full, cfg.VMs, cfg.Runs, cfg.Seed)
 
-	exitCode := 0
-	for _, fig := range exp.Figures() {
-		if len(want) > 0 && !want[fig.Name] {
-			continue
-		}
-		start := time.Now()
-		tables, err := fig.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", fig.Name, err)
-			exitCode = 1
-			continue
-		}
-		fmt.Printf("== %s: %s (%.1fs)\n\n", fig.Name, fig.Desc, time.Since(start).Seconds())
+	emit := func(tables []*exp.Table) {
 		for _, t := range tables {
 			fmt.Println(t.String())
 			mdOut.WriteString(t.Markdown())
@@ -140,17 +213,63 @@ func run() int {
 		}
 	}
 
+	exitCode := 0
+	interrupted := false
+	for _, fig := range exp.Figures() {
+		if len(want) > 0 && !want[fig.Name] {
+			continue
+		}
+		if tables, ok := ckpt.FigureTables(fig.Name); ok {
+			fmt.Printf("== %s: %s (replayed from checkpoint)\n\n", fig.Name, fig.Desc)
+			emit(tables)
+			continue
+		}
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
+		start := time.Now()
+		tables, err := fig.Run(cfg)
+		if err != nil {
+			if errors.Is(err, cancel.ErrCanceled) {
+				fmt.Fprintf(os.Stderr, "expdriver: %s: %v\n", fig.Name, err)
+				interrupted = true
+				break
+			}
+			fmt.Fprintf(os.Stderr, "%s: %v\n", fig.Name, err)
+			exitCode = 1
+			continue
+		}
+		if ckpt != nil {
+			if err := ckpt.RecordFigure(fig.Name, tables); err != nil {
+				fmt.Fprintf(os.Stderr, "expdriver: checkpoint %s: %v\n", fig.Name, err)
+				exitCode = 1
+			}
+		}
+		fmt.Printf("== %s: %s (%.1fs)\n\n", fig.Name, fig.Desc, time.Since(start).Seconds())
+		emit(tables)
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "expdriver: interrupted — progress is journaled; partial outputs follow")
+	}
+
+	// Output files land atomically (write-temp → fsync → rename), so a
+	// crash mid-write can never leave a torn report, and readers only ever
+	// observe the previous or the new version.
 	if *md != "" {
-		if err := os.WriteFile(*md, []byte(mdOut.String()), 0o644); err != nil {
+		if err := checkpoint.WriteFileAtomic(*md, []byte(mdOut.String()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			exitCode = 1
 		}
 	}
 	if *jsonOut != "" {
-		if err := os.WriteFile(*jsonOut, []byte(strings.Join(jsonLines, "\n")+"\n"), 0o644); err != nil {
+		if err := checkpoint.WriteFileAtomic(*jsonOut, []byte(strings.Join(jsonLines, "\n")+"\n"), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			exitCode = 1
 		}
+	}
+	if interrupted {
+		return 130
 	}
 	return exitCode
 }

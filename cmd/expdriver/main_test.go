@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// TestMain lets the test binary double as the driver: when the marker
+// env var is set, the process runs main's run() with its own arguments.
+// Tests exec os.Args[0] with that marker to exercise real process
+// boundaries — SIGKILL, SIGINT, exit codes — without needing `go build`.
+func TestMain(m *testing.M) {
+	if os.Getenv("EXPDRIVER_UNDER_TEST") == "1" {
+		os.Exit(run())
+	}
+	os.Exit(m.Run())
+}
+
+func driverCmd(args ...string) *exec.Cmd {
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "EXPDRIVER_UNDER_TEST=1")
+	return cmd
+}
+
+// TestKillResumeByteIdentical is the PR's headline acceptance test: the
+// driver is SIGKILLed mid-sweep (right after the 3rd journaled point),
+// resumed with -resume at a different worker count, and its -json and
+// -md outputs must be byte-identical to an uninterrupted run's.
+func TestKillResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	freshJSON := filepath.Join(dir, "fresh.json")
+	freshMD := filepath.Join(dir, "fresh.md")
+	resumedJSON := filepath.Join(dir, "resumed.json")
+	resumedMD := filepath.Join(dir, "resumed.md")
+	ckpt := filepath.Join(dir, "ckpt")
+
+	// Uninterrupted reference run.
+	fresh := driverCmd("-only", "fig7", "-workers", "2", "-json", freshJSON, "-md", freshMD)
+	if out, err := fresh.CombinedOutput(); err != nil {
+		t.Fatalf("fresh run: %v\n%s", err, out)
+	}
+
+	// Crash run: SIGKILL self after the 3rd journaled point.
+	crash := driverCmd("-only", "fig7", "-workers", "2", "-ckpt", ckpt, "-crashafter", "3")
+	err := crash.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("crash run: err = %v, want the process SIGKILLed", err)
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("crash run: status = %v, want death by SIGKILL", ee)
+	}
+	if _, err := os.Stat(filepath.Join(ckpt, "journal.nclog")); err != nil {
+		t.Fatalf("no journal after crash: %v", err)
+	}
+
+	// Resume at a different worker count.
+	var stderr bytes.Buffer
+	resume := driverCmd("-only", "fig7", "-workers", "1", "-resume", ckpt, "-json", resumedJSON, "-md", resumedMD)
+	resume.Stderr = &stderr
+	if err := resume.Run(); err != nil {
+		t.Fatalf("resume run: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "resuming from") {
+		t.Errorf("resume run did not report journaled progress:\n%s", stderr.String())
+	}
+
+	for _, pair := range [][2]string{{freshJSON, resumedJSON}, {freshMD, resumedMD}} {
+		want, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s and %s differ:\n--- fresh ---\n%s\n--- resumed ---\n%s",
+				pair[0], pair[1], want, got)
+		}
+	}
+}
+
+// TestResumeRequiresJournal: -resume against an empty directory is a
+// usage error, not a silent fresh start.
+func TestResumeRequiresJournal(t *testing.T) {
+	cmd := driverCmd("-resume", t.TempDir(), "-only", "fig7")
+	err := cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Fatalf("err = %v, want exit code 2", err)
+	}
+}
+
+// TestSigintDrainsAndExits130: the first SIGINT drains gracefully —
+// journaled progress survives, partial outputs are written atomically,
+// and the driver exits with the conventional 130.
+func TestSigintDrainsAndExits130(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt")
+	mdPath := filepath.Join(dir, "partial.md")
+	cmd := driverCmd("-only", "fig7,fig12,fig13", "-workers", "1", "-ckpt", ckpt, "-md", mdPath)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt right after the first figure completes, so cancellation
+	// deterministically lands while later figures still have work.
+	sc := bufio.NewScanner(stdout)
+	sent := false
+	for sc.Scan() {
+		if !sent && strings.HasPrefix(sc.Text(), "== ") {
+			if err := cmd.Process.Signal(os.Interrupt); err != nil {
+				t.Fatal(err)
+			}
+			sent = true
+		}
+	}
+	if !sent {
+		t.Fatalf("driver produced no figure header; stderr:\n%s", stderr.String())
+	}
+	err = cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 130 {
+		t.Fatalf("err = %v (stderr:\n%s), want exit code 130", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "draining") {
+		t.Errorf("no graceful-drain notice on stderr:\n%s", stderr.String())
+	}
+	if _, err := os.Stat(mdPath); err != nil {
+		t.Errorf("partial markdown report missing: %v", err)
+	}
+	// The journal must be reusable: a resume run completes cleanly.
+	resume := driverCmd("-only", "fig7,fig12,fig13", "-workers", "2", "-resume", ckpt)
+	if out, err := resume.CombinedOutput(); err != nil {
+		t.Fatalf("resume after SIGINT: %v\n%s", err, out)
+	}
+}

@@ -18,14 +18,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
+	"netconstant/internal/cancel"
 	"netconstant/internal/cloud"
 	"netconstant/internal/exp"
 	"netconstant/internal/simnet"
@@ -98,10 +103,15 @@ func simWorkload(racks, servers, vms, bgLinks, steps int) float64 {
 }
 
 // timeBest runs fn reps times and returns the best wall-clock seconds —
-// the standard way to suppress scheduler noise on shared machines.
-func timeBest(reps int, fn func()) float64 {
+// the standard way to suppress scheduler noise on shared machines. A
+// cancelled context stops between repetitions (timings from an
+// interrupted run are never reported anyway).
+func timeBest(ctx context.Context, reps int, fn func()) float64 {
 	best := math.Inf(1)
 	for r := 0; r < reps; r++ {
+		if ctx.Err() != nil {
+			break
+		}
 		start := time.Now()
 		fn()
 		if d := time.Since(start).Seconds(); d < best {
@@ -117,6 +127,28 @@ func main() {
 	out := flag.String("out", "BENCH_sim.json", "report path")
 	flag.Parse()
 
+	// First SIGINT/SIGTERM: finish the current repetition/figure, then
+	// exit 130 without writing a report (partial timings would be
+	// misleading). Second signal: force quit.
+	ctx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		fmt.Fprintf(os.Stderr, "simbench: %v — finishing the current repetition (signal again to force quit)\n", s)
+		cancelRun()
+		s = <-sigCh
+		fmt.Fprintf(os.Stderr, "simbench: %v again — forcing exit\n", s)
+		os.Exit(130)
+	}()
+	bailIfInterrupted := func() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "simbench: interrupted — no report written")
+			os.Exit(130)
+		}
+	}
+
 	rep := report{Quick: *quick, GoMaxProc: runtime.GOMAXPROCS(0), Reps: *reps}
 
 	// --- 1. The 1024-node background-traffic simulation. ---
@@ -128,12 +160,13 @@ func main() {
 
 	prev := simnet.SetDefaultGlobalFill(true)
 	rep.Sim.NormEGlobal = simWorkload(racks, servers, vms, bgLinks, steps)
-	rep.Sim.GlobalSec = timeBest(*reps, func() { simWorkload(racks, servers, vms, bgLinks, steps) })
+	rep.Sim.GlobalSec = timeBest(ctx, *reps, func() { simWorkload(racks, servers, vms, bgLinks, steps) })
 
 	simnet.SetDefaultGlobalFill(false)
 	rep.Sim.NormEIncr = simWorkload(racks, servers, vms, bgLinks, steps)
-	rep.Sim.IncrSec = timeBest(*reps, func() { simWorkload(racks, servers, vms, bgLinks, steps) })
+	rep.Sim.IncrSec = timeBest(ctx, *reps, func() { simWorkload(racks, servers, vms, bgLinks, steps) })
 	simnet.SetDefaultGlobalFill(prev)
+	bailIfInterrupted()
 
 	rep.Sim.Speedup = rep.Sim.GlobalSec / rep.Sim.IncrSec
 	if d := math.Abs(rep.Sim.NormEGlobal-rep.Sim.NormEIncr) / rep.Sim.NormEGlobal; d > 1e-6 {
@@ -160,8 +193,12 @@ func main() {
 	rep.Expdriver.Figures = len(figs)
 
 	runAll := func(cfg exp.Config) {
+		cfg.Ctx = ctx
 		for _, f := range figs {
 			if _, err := f.Run(cfg); err != nil {
+				if errors.Is(err, cancel.ErrCanceled) {
+					return // in-flight points drained; the outer checks bail
+				}
 				fmt.Fprintf(os.Stderr, "simbench: %s: %v\n", f.Name, err)
 				os.Exit(1)
 			}
@@ -171,18 +208,19 @@ func main() {
 	baseCfg := exp.Quick()
 	baseCfg.Workers = 1
 	prev = simnet.SetDefaultGlobalFill(true)
-	rep.Expdriver.BaselineSec = timeBest(*reps, func() { runAll(baseCfg) })
+	rep.Expdriver.BaselineSec = timeBest(ctx, *reps, func() { runAll(baseCfg) })
 	simnet.SetDefaultGlobalFill(false)
 
 	optCfg := exp.Quick()
 	var lastMemo *cloud.CalibrationMemo
-	rep.Expdriver.OptimizedSec = timeBest(*reps, func() {
+	rep.Expdriver.OptimizedSec = timeBest(ctx, *reps, func() {
 		cfg := optCfg
 		cfg.Memo = cloud.NewCalibrationMemo(0)
 		lastMemo = cfg.Memo
 		runAll(cfg)
 	})
 	simnet.SetDefaultGlobalFill(prev)
+	bailIfInterrupted()
 	st := lastMemo.Stats()
 	rep.Expdriver.MemoHits, rep.Expdriver.MemoMisses = st.Hits, st.Misses
 	rep.Expdriver.Speedup = rep.Expdriver.BaselineSec / rep.Expdriver.OptimizedSec

@@ -41,6 +41,10 @@ var determinismRestricted = [][]string{
 	{"internal", "simnet"},
 	{"internal", "cloud"},
 	{"internal", "rpca"},
+	{"internal", "workflow"},
+	{"internal", "faults"},
+	{"internal", "checkpoint"},
+	{"internal", "chaos"},
 }
 
 // randConstructors are the math/rand(/v2) package functions that build

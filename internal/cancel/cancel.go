@@ -1,0 +1,78 @@
+// Package cancel defines the repo-wide typed cancellation error. Every
+// long-running entry point (exp sweeps, cloud calibration, rpca solver
+// iterations) that aborts because a context was cancelled or its
+// deadline expired returns a *cancel.Error, which
+//
+//   - matches errors.Is(err, cancel.ErrCanceled) so callers can treat
+//     all cancellations uniformly,
+//   - unwraps to the context's cause (context.Canceled or
+//     context.DeadlineExceeded), so errors.Is against those still works,
+//   - carries partial-progress provenance: the operation name and how
+//     many of how many units of work had completed when the abort was
+//     observed. A half-finished sweep reports "exp/fig7: canceled after
+//     5/12 points", not a bare "context canceled".
+//
+// The package sits below every other internal package (it imports only
+// the stdlib), so core, cloud, rpca and exp can all share the sentinel
+// without an import cycle.
+package cancel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is the sentinel matched by every typed cancellation
+// error. errors.Is(err, ErrCanceled) is true for any *Error.
+var ErrCanceled = errors.New("canceled")
+
+// Error is a typed cancellation with partial-progress provenance.
+type Error struct {
+	// Op names the aborted operation, e.g. "exp/fig7" or
+	// "cloud.CalibrateTP".
+	Op string
+	// Done and Total describe partial progress in the operation's own
+	// units (sweep points, calibration steps, solver iterations). Total
+	// is 0 when the operation has no meaningful unit count.
+	Done, Total int
+	// Cause is the context's cancellation cause, typically
+	// context.Canceled or context.DeadlineExceeded.
+	Cause error
+}
+
+func (e *Error) Error() string {
+	if e.Total > 0 {
+		return fmt.Sprintf("%s: canceled after %d/%d: %v", e.Op, e.Done, e.Total, e.Cause)
+	}
+	return fmt.Sprintf("%s: canceled: %v", e.Op, e.Cause)
+}
+
+// Is makes every *Error match the ErrCanceled sentinel.
+func (e *Error) Is(target error) bool { return target == ErrCanceled }
+
+// Unwrap exposes the context cause, so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) see through the wrapper.
+func (e *Error) Unwrap() error { return e.Cause }
+
+// Wrap builds a typed cancellation error. A nil cause defaults to
+// context.Canceled.
+func Wrap(op string, done, total int, cause error) error {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return &Error{Op: op, Done: done, Total: total, Cause: cause}
+}
+
+// Check returns nil while ctx is live and a typed *Error once it is
+// done. A nil ctx never cancels. done/total record the caller's
+// progress at the moment of the check.
+func Check(ctx context.Context, op string, done, total int) error {
+	if ctx == nil {
+		return nil
+	}
+	if ctx.Err() == nil {
+		return nil
+	}
+	return Wrap(op, done, total, context.Cause(ctx))
+}

@@ -1,0 +1,70 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckLiveContext(t *testing.T) {
+	if err := Check(context.Background(), "op", 0, 0); err != nil {
+		t.Fatalf("live context: got %v, want nil", err)
+	}
+	var noCtx context.Context // nil ctx is the documented "never cancels" case
+	if err := Check(noCtx, "op", 0, 0); err != nil {
+		t.Fatalf("nil context: got %v, want nil", err)
+	}
+}
+
+func TestCheckCanceledContext(t *testing.T) {
+	ctx, stop := context.WithCancel(context.Background())
+	stop()
+	err := Check(ctx, "exp/fig7", 5, 12)
+	if err == nil {
+		t.Fatal("canceled context: got nil error")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("errors.Is(err, ErrCanceled) = false for %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("errors.As(*Error) failed for %T", err)
+	}
+	if ce.Op != "exp/fig7" || ce.Done != 5 || ce.Total != 12 {
+		t.Errorf("provenance = %+v, want Op=exp/fig7 Done=5 Total=12", ce)
+	}
+	if got := err.Error(); !strings.Contains(got, "5/12") || !strings.Contains(got, "exp/fig7") {
+		t.Errorf("message %q lacks progress provenance", got)
+	}
+}
+
+func TestCheckDeadline(t *testing.T) {
+	ctx, stop := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer stop()
+	err := Check(ctx, "rpca.Decompose", 3, 100)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("deadline abort should match ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline abort should unwrap to DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestWrapDefaultsCause(t *testing.T) {
+	err := Wrap("op", 0, 0, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("nil cause should default to context.Canceled, got %v", err)
+	}
+}
+
+func TestTotalZeroMessage(t *testing.T) {
+	err := Wrap("cloud.CalibrationMemo", 0, 0, context.Canceled)
+	if got := err.Error(); strings.Contains(got, "0/0") {
+		t.Errorf("Total==0 should omit the progress fraction, got %q", got)
+	}
+}

@@ -1,0 +1,206 @@
+// Package chaos is the deterministic chaos-soak harness: seeded
+// randomized fault campaigns composed from the repo's fault injectors
+// (internal/faults) and crash substrate (internal/checkpoint), checked
+// against invariant oracles — journal recovery integrity, the
+// calibration-health fallback ladder, Norm(N_E) finiteness, and
+// resume-equals-fresh byte identity — with automatic shrinking of any
+// failing campaign to a minimal replayable plan.
+//
+// Everything flows from a single seed: the same (seed, rounds) pair
+// replays the identical campaign, op for op, so a failure in CI is a
+// failure on a laptop. No wall clock, no process-global randomness.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"netconstant/internal/faults"
+)
+
+// Op kinds a plan can contain. Each arms one fault injector (or, for
+// OpKill, sets where the resume oracle interrupts the sweep).
+const (
+	OpProbeLoss  = "probe-loss" // P: iid probe-loss probability
+	OpHeavyTail  = "heavy-tail" // P: Pareto-outlier probability
+	OpStraggler  = "straggler"  // N: persistently slow VMs
+	OpBlackout   = "blackout"   // Start/Duration: correlated outage window (fractions of one calibration)
+	OpPartition  = "partition"  // N + Start/Duration: transient group split
+	OpChurn      = "churn"      // P: VM restarts per VM per day (scaled ×1000)
+	OpKill       = "kill"       // N: interrupt the checkpointed sweep after N journaled points
+	OpTruncate   = "truncate"   // journal damage: cut the tail at a seeded offset
+	OpBitFlip    = "bit-flip"   // journal damage: flip one seeded bit
+	OpZeroFill   = "zero-fill"  // journal damage: zero a seeded byte range
+	OpDupeRecord = "dupe"       // journal damage: re-append a copy of the final frame
+)
+
+// opKinds is the generator's menu, fault ops weighted ahead of damage
+// ops so most plans exercise the measurement path.
+var opKinds = []string{
+	OpProbeLoss, OpHeavyTail, OpStraggler, OpBlackout, OpPartition, OpChurn,
+	OpKill, OpTruncate, OpBitFlip, OpZeroFill, OpDupeRecord,
+}
+
+// Op is one fault or crash action. Which fields matter depends on Kind;
+// unused fields stay zero so plans print and shrink cleanly.
+type Op struct {
+	Kind     string  `json:"kind"`
+	P        float64 `json:"p,omitempty"`        // probability / rate
+	N        int     `json:"n,omitempty"`        // count (VMs, points, group size)
+	Start    float64 `json:"start,omitempty"`    // window start, fraction of one calibration
+	Duration float64 `json:"duration,omitempty"` // window length, fraction of one calibration
+}
+
+func (o Op) String() string {
+	var b strings.Builder
+	b.WriteString(o.Kind)
+	if o.P != 0 {
+		fmt.Fprintf(&b, " p=%.3f", o.P)
+	}
+	if o.N != 0 {
+		fmt.Fprintf(&b, " n=%d", o.N)
+	}
+	if o.Duration != 0 {
+		fmt.Fprintf(&b, " window=[%.2f,%.2f)", o.Start, o.Start+o.Duration)
+	}
+	return b.String()
+}
+
+// Plan is one replayable fault campaign: a seed (driving the injectors,
+// the workload, and the damage offsets) plus the ops to arm.
+type Plan struct {
+	Seed int64 `json:"seed"`
+	Ops  []Op  `json:"ops"`
+}
+
+func (p Plan) String() string {
+	ops := make([]string, len(p.Ops))
+	for i, o := range p.Ops {
+		ops[i] = o.String()
+	}
+	return fmt.Sprintf("plan{seed=%d: %s}", p.Seed, strings.Join(ops, "; "))
+}
+
+// GeneratePlan draws a random plan of 1..maxOps ops. All randomness
+// comes from rng, so identical streams yield identical plans.
+func GeneratePlan(rng *rand.Rand, seed int64, maxOps int) Plan {
+	if maxOps < 1 {
+		maxOps = 1
+	}
+	nops := 1 + rng.Intn(maxOps)
+	p := Plan{Seed: seed}
+	for k := 0; k < nops; k++ {
+		op := Op{Kind: opKinds[rng.Intn(len(opKinds))]}
+		switch op.Kind {
+		case OpProbeLoss:
+			op.P = 0.05 + 0.35*rng.Float64()
+		case OpHeavyTail:
+			op.P = 0.05 + 0.25*rng.Float64()
+		case OpStraggler:
+			op.N = 1 + rng.Intn(3)
+		case OpBlackout:
+			op.Start = rng.Float64()
+			op.Duration = 0.1 + 1.2*rng.Float64()
+		case OpPartition:
+			op.N = 2 + rng.Intn(3)
+			op.Start = rng.Float64()
+			op.Duration = 0.1 + 0.8*rng.Float64()
+		case OpChurn:
+			op.P = 500 + 4000*rng.Float64() // restarts/VM/day — compressed timescale
+		case OpKill:
+			op.N = 1 + rng.Intn(5)
+		case OpBitFlip, OpZeroFill, OpTruncate, OpDupeRecord:
+			op.N = 1 + rng.Intn(4) // damage intensity (repetitions)
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	return p
+}
+
+// Scenario composes the plan's fault ops into a faults.Scenario whose
+// time windows are expressed in multiples of calCost (the duration of
+// one fault-free calibration), over a cluster of n VMs.
+func (p Plan) Scenario(calCost float64, n int) faults.Scenario {
+	sc := faults.Scenario{Seed: p.Seed}
+	for _, o := range p.Ops {
+		switch o.Kind {
+		case OpProbeLoss:
+			if sc.ProbeLoss < o.P {
+				sc.ProbeLoss = o.P
+			}
+		case OpHeavyTail:
+			if sc.HeavyTailProb < o.P {
+				sc.HeavyTailProb = o.P
+			}
+		case OpStraggler:
+			sc.Stragglers += o.N
+		case OpBlackout:
+			// Dark the first half of the cluster for the window.
+			vms := make([]int, 0, n/2)
+			for vm := 0; vm < n/2; vm++ {
+				vms = append(vms, vm)
+			}
+			sc.Blackouts = append(sc.Blackouts, faults.Blackout{
+				VMs:      vms,
+				Start:    o.Start * calCost,
+				Duration: o.Duration * calCost,
+				Label:    "chaos",
+			})
+		case OpPartition:
+			g := o.N
+			if g > n-1 {
+				g = n - 1
+			}
+			group := make([]int, g)
+			for i := range group {
+				group[i] = i
+			}
+			sc.Partitions = append(sc.Partitions, faults.Partition{
+				Group:    group,
+				Start:    o.Start * calCost,
+				Duration: o.Duration * calCost,
+			})
+		case OpChurn:
+			sc.ChurnRate += o.P
+		}
+	}
+	return sc
+}
+
+// KillPoint returns where the resume oracle should interrupt the sweep:
+// the plan's OpKill count if present, else a seeded default in [1, max].
+// The oracle always runs — a campaign without an explicit kill op still
+// proves resume-equals-fresh.
+func (p Plan) KillPoint(max int) int {
+	for _, o := range p.Ops {
+		if o.Kind == OpKill && o.N > 0 {
+			if o.N > max {
+				return max
+			}
+			return o.N
+		}
+	}
+	k := int(p.Seed%int64(max)) + 1
+	if k > max {
+		k = max
+	}
+	return k
+}
+
+// damageOps returns the journal-damage ops in plan order; when the plan
+// carries none, the journal oracle applies a seeded default truncation
+// so every campaign exercises torn-tail recovery.
+func (p Plan) damageOps() []Op {
+	var out []Op
+	for _, o := range p.Ops {
+		switch o.Kind {
+		case OpTruncate, OpBitFlip, OpZeroFill, OpDupeRecord:
+			out = append(out, o)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Op{Kind: OpTruncate, N: 1})
+	}
+	return out
+}

@@ -1,0 +1,434 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustAppend(t *testing.T, j *Journal, payloads ...[]byte) {
+	t.Helper()
+	for _, p := range payloads {
+		if err := j.Append(p); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.nclog")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("alpha"), {}, []byte("gamma with a longer payload"), {0, 1, 2, 255}}
+	mustAppend(t, j, want...)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Replay(path)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rec.TornBytes != 0 {
+		t.Errorf("TornBytes = %d, want 0", rec.TornBytes)
+	}
+	if len(rec.Records) != len(want) {
+		t.Fatalf("got %d records, want %d", len(rec.Records), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(rec.Records[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, rec.Records[i], want[i])
+		}
+	}
+}
+
+func TestJournalReopenAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.nclog")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, []byte("one"))
+	j.Close()
+
+	j2, rec, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0]) != "one" {
+		t.Fatalf("recovered %q, want [one]", rec.Records)
+	}
+	mustAppend(t, j2, []byte("two"))
+	j2.Close()
+
+	rec, err = Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 2 || string(rec.Records[1]) != "two" {
+		t.Fatalf("after reopen-append got %q", rec.Records)
+	}
+}
+
+func TestJournalAppendAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.nclog")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Append([]byte("x")); err == nil {
+		t.Fatal("Append after Close should fail")
+	}
+}
+
+func TestJournalOpenCreatesMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.nclog")
+	j, rec, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("fresh journal recovered %d records", len(rec.Records))
+	}
+	mustAppend(t, j, []byte("first"))
+	j.Close()
+}
+
+// TestJournalTornTail truncates a valid journal at every possible byte
+// length and asserts recovery always yields a valid record prefix —
+// never an error, never a wrong or reordered record.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.nclog")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("r0"), []byte("record-one"), []byte("rec2"), bytes.Repeat([]byte{7}, 100)}
+	mustAppend(t, j, want...)
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		torn := filepath.Join(dir, "torn.nclog")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Replay(torn)
+		if err != nil {
+			t.Fatalf("cut=%d: Replay error %v (torn tails must recover)", cut, err)
+		}
+		if len(rec.Records) > len(want) {
+			t.Fatalf("cut=%d: recovered %d records from a %d-record journal", cut, len(rec.Records), len(want))
+		}
+		for i, r := range rec.Records {
+			if !bytes.Equal(r, want[i]) {
+				t.Fatalf("cut=%d: record %d = %q, want %q", cut, i, r, want[i])
+			}
+		}
+		// Open must make the journal appendable again after any tear.
+		j2, rec2, err := Open(torn)
+		if err != nil {
+			t.Fatalf("cut=%d: Open error %v", cut, err)
+		}
+		if len(rec2.Records) != len(rec.Records) {
+			t.Fatalf("cut=%d: Open recovered %d records, Replay %d", cut, len(rec2.Records), len(rec.Records))
+		}
+		if err := j2.Append([]byte("appended-after-tear")); err != nil {
+			t.Fatalf("cut=%d: Append after recovery: %v", cut, err)
+		}
+		j2.Close()
+		rec3, err := Replay(torn)
+		if err != nil {
+			t.Fatalf("cut=%d: Replay after append: %v", cut, err)
+		}
+		if got := len(rec3.Records); got != len(rec.Records)+1 {
+			t.Fatalf("cut=%d: %d records after append, want %d", cut, got, len(rec.Records)+1)
+		}
+		if string(rec3.Records[len(rec3.Records)-1]) != "appended-after-tear" {
+			t.Fatalf("cut=%d: appended record corrupted: %q", cut, rec3.Records[len(rec3.Records)-1])
+		}
+	}
+}
+
+// TestJournalBitFlips flips every bit of a journal in turn and asserts
+// the recovery contract: either a typed *CorruptError, or a prefix of
+// the true records (a flip in the discarded tail region is invisible;
+// a flip in the final frame is indistinguishable from a torn append
+// and may drop that frame) — never an altered or invented record.
+func TestJournalBitFlips(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.nclog")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("alpha"), []byte("beta-record"), []byte("gamma")}
+	mustAppend(t, j, want...)
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flipped := filepath.Join(dir, "flip.nclog")
+	for pos := 0; pos < len(full); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(full)
+			mut[pos] ^= 1 << bit
+			if err := os.WriteFile(flipped, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rec, err := Replay(flipped)
+			if err != nil {
+				var ce *CorruptError
+				if !errors.As(err, &ce) || !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("pos=%d bit=%d: error %v is not a typed *CorruptError", pos, bit, err)
+				}
+				continue
+			}
+			if len(rec.Records) > len(want) {
+				t.Fatalf("pos=%d bit=%d: invented records: got %d, want <=%d", pos, bit, len(rec.Records), len(want))
+			}
+			for i, r := range rec.Records {
+				if !bytes.Equal(r, want[i]) {
+					t.Fatalf("pos=%d bit=%d: silently wrong record %d: %q != %q", pos, bit, i, r, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestJournalDoubleAppend simulates a replayed append (the same frame
+// bytes written twice, e.g. by a resumed writer that lost track of its
+// offset): recovery must surface both copies verbatim — deduplication
+// is the consumer's job — and never misparse the boundary.
+func TestJournalDoubleAppend(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.nclog")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, []byte("head"), []byte("dup-me"))
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last frame is 8 bytes of header plus the 6-byte payload.
+	frame := full[len(full)-(8+len("dup-me")):]
+	doubled := append(bytes.Clone(full), frame...)
+	if err := os.WriteFile(path, doubled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(rec.Records))
+	for i, r := range rec.Records {
+		got[i] = string(r)
+	}
+	if len(got) != 3 || got[0] != "head" || got[1] != "dup-me" || got[2] != "dup-me" {
+		t.Fatalf("double-append recovered %q, want [head dup-me dup-me]", got)
+	}
+}
+
+// TestJournalDamageProperty is the randomized property test: seeded
+// random journals suffer seeded random damage (truncation, bit flips,
+// zero-fill of the tail, duplicated tail frames), and recovery must
+// always yield a true-record prefix (possibly followed by the
+// duplicated frames, for double-append damage) or a typed corruption
+// error. Fixed seed: fully reproducible.
+func TestJournalDamageProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dir := t.TempDir()
+	for trial := 0; trial < 200; trial++ {
+		path := filepath.Join(dir, "p.nclog")
+		j, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nrec := rng.Intn(6)
+		want := make([][]byte, nrec)
+		for i := range want {
+			p := make([]byte, rng.Intn(64))
+			rng.Read(p)
+			want[i] = p
+			mustAppend(t, j, p)
+		}
+		j.Close()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		dup := false
+		switch rng.Intn(4) {
+		case 0: // truncate
+			data = data[:rng.Intn(len(data)+1)]
+		case 1: // bit flip
+			if len(data) > 0 {
+				data = bytes.Clone(data)
+				data[rng.Intn(len(data))] ^= 1 << rng.Intn(8)
+			}
+		case 2: // zero-fill a tail region (crash on a zeroing filesystem)
+			data = bytes.Clone(data)
+			for i := len(data) - rng.Intn(len(data)+1); i < len(data); i++ {
+				data[i] = 0
+			}
+		case 3: // double-append a tail chunk
+			tail := data[len(data)-rng.Intn(len(data)+1):]
+			data = append(bytes.Clone(data), tail...)
+			dup = true
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		rec, err := Replay(path)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("trial %d: untyped recovery error %v", trial, err)
+			}
+			continue
+		}
+		limit := len(want)
+		if dup {
+			limit = 2 * len(want) // duplicated frames may legitimately reappear
+		}
+		if len(rec.Records) > limit {
+			t.Fatalf("trial %d: recovered %d records from %d appended", trial, len(rec.Records), len(want))
+		}
+		for i := 0; i < len(rec.Records) && i < len(want); i++ {
+			if !bytes.Equal(rec.Records[i], want[i]) {
+				t.Fatalf("trial %d: silently wrong record %d", trial, i)
+			}
+		}
+	}
+}
+
+// FuzzReplay feeds arbitrary bytes to Replay: it must never panic and
+// must fail only with typed corruption errors.
+func FuzzReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("NCJL0001"))
+	f.Add([]byte("NCJL0001\x05\x00\x00\x00\x00\x00\x00\x00hello"))
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "f.nclog")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		rec, err := Replay(path)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped error %v", err)
+			}
+			return
+		}
+		for _, r := range rec.Records {
+			if len(r) > maxRecord {
+				t.Fatalf("oversized record recovered: %d bytes", len(r))
+			}
+		}
+	})
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2-longer"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2-longer" {
+		t.Fatalf("content = %q", got)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1 (no temp files)", len(entries))
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	payload := []byte(`{"seed":1,"vms":16}`)
+	if err := SaveSnapshot(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+}
+
+// TestSnapshotBitFlips: every single-bit flip of a snapshot file must
+// yield a typed *CorruptError — snapshots get no torn-tail tolerance.
+func TestSnapshotBitFlips(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := SaveSnapshot(path, []byte("snapshot-payload")); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutPath := filepath.Join(dir, "snap-mut")
+	for pos := 0; pos < len(full); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(full)
+			mut[pos] ^= 1 << bit
+			if err := os.WriteFile(mutPath, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadSnapshot(mutPath); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("pos=%d bit=%d: got %v, want ErrCorrupt", pos, bit, err)
+			}
+		}
+	}
+}
+
+func TestSnapshotTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := SaveSnapshot(path, []byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSnapshot(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut=%d: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+}

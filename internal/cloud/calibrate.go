@@ -1,10 +1,12 @@
 package cloud
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
 
+	"netconstant/internal/cancel"
 	"netconstant/internal/mat"
 	"netconstant/internal/netmodel"
 )
@@ -327,6 +329,18 @@ func pairProbe(c Cluster, rng *rand.Rand, cfg *CalibrationConfig, cal *Calibrati
 // carries a quality score, and pairs that stay unmeasurable are marked
 // missing rather than repaired — callers run masked RPCA over the gaps.
 func Calibrate(c Cluster, rng *rand.Rand, cfg CalibrationConfig) *Calibration {
+	cal, _ := CalibrateCtx(context.Background(), c, rng, cfg)
+	return cal
+}
+
+// CalibrateCtx is Calibrate with cancellation: the context is checked
+// once per measurement round, and a cancelled context aborts with a
+// *cancel.Error (matching cancel.ErrCanceled) carrying the rounds
+// completed. The abandoned pass's partial measurements are discarded;
+// cluster time already consumed stays consumed, exactly as a real
+// interrupted measurement campaign would leave the cluster older but
+// yield no trace.
+func CalibrateCtx(ctx context.Context, c Cluster, rng *rand.Rand, cfg CalibrationConfig) (*Calibration, error) {
 	cfg.applyDefaults()
 	n := c.Size()
 	perf := netmodel.NewPerfMatrix(n)
@@ -373,10 +387,14 @@ func Calibrate(c Cluster, rng *rand.Rand, cfg CalibrationConfig) *Calibration {
 	}
 
 	if cfg.Sequential {
+		total := n * (n - 1)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				if i == j {
 					continue
+				}
+				if err := cancel.Check(ctx, "cloud.Calibrate", cal.Rounds, total); err != nil {
+					return nil, err
 				}
 				dt := measure(i, j, false) + cfg.RoundSync
 				c.AdvanceTime(dt)
@@ -385,7 +403,11 @@ func Calibrate(c Cluster, rng *rand.Rand, cfg CalibrationConfig) *Calibration {
 			}
 		}
 	} else {
-		for _, round := range PairSchedule(n) {
+		schedule := PairSchedule(n)
+		for _, round := range schedule {
+			if err := cancel.Check(ctx, "cloud.Calibrate", cal.Rounds, len(schedule)); err != nil {
+				return nil, err
+			}
 			roundTime := 0.0
 			for _, pr := range round {
 				if t := measure(pr[0], pr[1], true); t > roundTime {
@@ -401,7 +423,7 @@ func Calibrate(c Cluster, rng *rand.Rand, cfg CalibrationConfig) *Calibration {
 	if !cfg.Resilient {
 		cal.Repaired = perf.Repair()
 	}
-	return cal
+	return cal, nil
 }
 
 // TemporalCalibration is a series of calibrations assembled into the two
@@ -475,6 +497,14 @@ func (tc *TemporalCalibration) Coverage() float64 {
 // idle time and stacks them into TP-matrices. steps is the paper's "time
 // step" tuning parameter (default 10).
 func CalibrateTP(c Cluster, rng *rand.Rand, steps int, gap float64, cfg CalibrationConfig) *TemporalCalibration {
+	tc, _ := CalibrateTPCtx(context.Background(), c, rng, steps, gap, cfg)
+	return tc
+}
+
+// CalibrateTPCtx is CalibrateTP with cancellation: the context is
+// checked before every calibration step (and per round inside each
+// step); a cancelled context aborts with a *cancel.Error and no trace.
+func CalibrateTPCtx(ctx context.Context, c Cluster, rng *rand.Rand, steps int, gap float64, cfg CalibrationConfig) (*TemporalCalibration, error) {
 	if steps <= 0 {
 		steps = 10
 	}
@@ -487,7 +517,13 @@ func CalibrateTP(c Cluster, rng *rand.Rand, steps int, gap float64, cfg Calibrat
 		tc.Mask = mat.NewDense(steps, n*n)
 	}
 	for s := 0; s < steps; s++ {
-		cal := Calibrate(c, rng, cfg)
+		if err := cancel.Check(ctx, "cloud.CalibrateTP", s, steps); err != nil {
+			return nil, err
+		}
+		cal, err := CalibrateCtx(ctx, c, rng, cfg)
+		if err != nil {
+			return nil, err
+		}
 		tc.TotalCost += cal.Cost
 		tc.Steps = append(tc.Steps, cal)
 		tc.Latency.Append(c.Now(), cal.Perf.Latency)
@@ -512,7 +548,7 @@ func CalibrateTP(c Cluster, rng *rand.Rand, steps int, gap float64, cfg Calibrat
 			tc.TotalCost += gap
 		}
 	}
-	return tc
+	return tc, nil
 }
 
 // SnapshotTP samples `steps` instantaneous performance matrices separated

@@ -1,0 +1,161 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"netconstant/internal/cancel"
+	"netconstant/internal/stats"
+)
+
+func cancelTestCluster(t *testing.T) *VirtualCluster {
+	t.Helper()
+	vc, err := NewProvider(ProviderConfig{Seed: 11}).Provision(8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vc
+}
+
+func TestCalibrateCtxCancelled(t *testing.T) {
+	vc := cancelTestCluster(t)
+	ctx, stop := context.WithCancel(context.Background())
+	stop()
+	cal, err := CalibrateCtx(ctx, vc, stats.NewRNG(1), CalibrationConfig{})
+	if cal != nil {
+		t.Error("cancelled calibration returned a partial trace")
+	}
+	if !errors.Is(err, cancel.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want typed cancellation", err)
+	}
+
+	// Sequential mode takes the per-pair path.
+	cal, err = CalibrateCtx(ctx, vc, stats.NewRNG(1), CalibrationConfig{Sequential: true})
+	if cal != nil || !errors.Is(err, cancel.ErrCanceled) {
+		t.Errorf("sequential: cal=%v err=%v, want nil + typed cancellation", cal, err)
+	}
+}
+
+func TestCalibrateTPCtxCancelled(t *testing.T) {
+	vc := cancelTestCluster(t)
+	ctx, stop := context.WithCancel(context.Background())
+	stop()
+	tc, err := CalibrateTPCtx(ctx, vc, stats.NewRNG(1), 3, 60, CalibrationConfig{})
+	if tc != nil {
+		t.Error("cancelled temporal calibration returned a partial trace")
+	}
+	var ce *cancel.Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("err %T is not *cancel.Error", err)
+	}
+}
+
+// TestCalibrateBackgroundUnchanged: the ctx-less wrappers must still
+// return complete traces (byte-compatible with the pre-context code).
+func TestCalibrateBackgroundUnchanged(t *testing.T) {
+	vc := cancelTestCluster(t)
+	cal := Calibrate(vc, stats.NewRNG(1), CalibrationConfig{})
+	if cal == nil || cal.Rounds == 0 {
+		t.Fatal("Calibrate returned no trace")
+	}
+	vc2 := cancelTestCluster(t)
+	tc := CalibrateTP(vc2, stats.NewRNG(1), 2, 60, CalibrationConfig{})
+	if tc == nil || len(tc.Steps) != 2 {
+		t.Fatal("CalibrateTP returned no trace")
+	}
+}
+
+// TestMemoWaiterCancellable: a waiter blocked on another request's
+// in-flight computation must unblock with a typed cancellation when its
+// own context ends, while the computation completes and is cached for
+// later requests. Run under -race this also checks the memoCall
+// publication ordering.
+func TestMemoWaiterCancellable(t *testing.T) {
+	m := NewCalibrationMemo(8)
+	key := CalibrationKey{N: 4, ProvSeed: 1}
+
+	computeStarted := make(chan struct{})
+	computeRelease := make(chan struct{})
+	var computeOnce sync.Once
+	compute := func() (*TemporalCalibration, error) {
+		computeOnce.Do(func() { close(computeStarted) })
+		<-computeRelease
+		vc, err := NewProvider(ProviderConfig{Seed: 5}).Provision(4, 6)
+		if err != nil {
+			return nil, err
+		}
+		return CalibrateTP(vc, stats.NewRNG(7), 2, 1, CalibrationConfig{}), nil
+	}
+
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, err := m.GetOrComputeCtx(context.Background(), key, compute)
+		ownerDone <- err
+	}()
+	<-computeStarted
+
+	// The waiter joins the in-flight call, then its context is cancelled.
+	waiterCtx, stopWaiter := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := m.GetOrComputeCtx(waiterCtx, key, compute)
+		waiterDone <- err
+	}()
+	stopWaiter()
+	werr := <-waiterDone
+	if !errors.Is(werr, cancel.ErrCanceled) || !errors.Is(werr, context.Canceled) {
+		t.Errorf("waiter err = %v, want typed cancellation", werr)
+	}
+
+	// Release the owner; its computation must finish and get cached.
+	close(computeRelease)
+	if err := <-ownerDone; err != nil {
+		t.Fatalf("owner err: %v", err)
+	}
+	if got := m.Get(key); got == nil {
+		t.Error("computation was not cached after waiter abandonment")
+	}
+}
+
+// TestMemoSingleflightStillShared: concurrent same-key requests with
+// live contexts still share one computation.
+func TestMemoSingleflightStillShared(t *testing.T) {
+	m := NewCalibrationMemo(8)
+	key := CalibrationKey{N: 4, ProvSeed: 2}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	calls := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := m.GetOrComputeCtx(context.Background(), key, func() (*TemporalCalibration, error) {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				vc, err := NewProvider(ProviderConfig{Seed: 5}).Provision(4, 6)
+				if err != nil {
+					return nil, err
+				}
+				return CalibrateTP(vc, stats.NewRNG(7), 1, 0, CalibrationConfig{}), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls < 1 {
+		t.Fatal("no computation ran")
+	}
+	// At most one computation can be in flight per key at a time; with
+	// the cache populated after the first, late arrivals hit. Exactly-one
+	// is not guaranteed only if a request raced in before the inflight
+	// registration — impossible here because registration happens under
+	// the same lock as the lookup.
+	if calls != 1 {
+		t.Errorf("computed %d times, want 1 (singleflight)", calls)
+	}
+}

@@ -2,7 +2,10 @@ package cloud
 
 import (
 	"container/list"
+	"context"
 	"sync"
+
+	"netconstant/internal/cancel"
 )
 
 // CalibrationKey identifies a calibration trace by its measurement
@@ -41,8 +44,11 @@ type CalibrationMemo struct {
 	hits, misses int
 	// inflight serializes concurrent computations of the same key so a
 	// parallel sweep computes each trace once instead of once per worker.
-	inflight map[CalibrationKey]*sync.Once
-	results  map[CalibrationKey]*memoResult
+	// Waiters block on the call's done channel, which keeps them
+	// cancellable: a waiter whose context ends abandons the wait (the
+	// computation itself keeps running on the goroutine that started it
+	// and still populates the cache).
+	inflight map[CalibrationKey]*memoCall
 }
 
 type memoEntry struct {
@@ -50,9 +56,12 @@ type memoEntry struct {
 	tc  *TemporalCalibration
 }
 
-type memoResult struct {
-	tc  *TemporalCalibration
-	err error
+// memoCall is one in-flight computation; tc/err are written exactly
+// once, before done is closed.
+type memoCall struct {
+	done chan struct{}
+	tc   *TemporalCalibration
+	err  error
 }
 
 // MemoStats reports cache effectiveness.
@@ -70,8 +79,7 @@ func NewCalibrationMemo(capacity int) *CalibrationMemo {
 		cap:      capacity,
 		lru:      list.New(),
 		byK:      map[CalibrationKey]*list.Element{},
-		inflight: map[CalibrationKey]*sync.Once{},
-		results:  map[CalibrationKey]*memoResult{},
+		inflight: map[CalibrationKey]*memoCall{},
 	}
 }
 
@@ -122,6 +130,18 @@ func (m *CalibrationMemo) put(key CalibrationKey, tc *TemporalCalibration) {
 // concurrently. A compute error is returned to every waiter and nothing
 // is cached, so the next request retries.
 func (m *CalibrationMemo) GetOrCompute(key CalibrationKey, compute func() (*TemporalCalibration, error)) (*TemporalCalibration, error) {
+	return m.GetOrComputeCtx(context.Background(), key, compute)
+}
+
+// GetOrComputeCtx is GetOrCompute with cancellable waiting: a request
+// that finds the key's computation already in flight blocks until
+// either the computation finishes or ctx ends, in which case it
+// abandons the wait with a *cancel.Error (matching cancel.ErrCanceled).
+// The computation itself is never interrupted by a *waiter's* context —
+// it belongs to the request that started it, which typically passes the
+// same ctx into its compute closure (so cancelling the whole sweep
+// still cancels the measurement).
+func (m *CalibrationMemo) GetOrComputeCtx(ctx context.Context, key CalibrationKey, compute func() (*TemporalCalibration, error)) (*TemporalCalibration, error) {
 	if m == nil {
 		return compute()
 	}
@@ -133,41 +153,43 @@ func (m *CalibrationMemo) GetOrCompute(key CalibrationKey, compute func() (*Temp
 		m.mu.Unlock()
 		return tc, nil
 	}
-	once, ok := m.inflight[key]
-	if !ok {
-		once = &sync.Once{}
-		m.inflight[key] = once
+	if call, ok := m.inflight[key]; ok {
+		m.mu.Unlock()
+		select {
+		case <-call.done:
+			if call.err != nil {
+				// The computing request's error is surfaced to every
+				// waiter of this round; nothing was cached, so a later
+				// request retries from scratch.
+				return nil, call.err
+			}
+			return call.tc.Clone(), nil
+		case <-ctx.Done():
+			return nil, cancel.Wrap("cloud.CalibrationMemo", 0, 0, context.Cause(ctx))
+		}
 	}
+	call := &memoCall{done: make(chan struct{})}
+	m.inflight[key] = call
 	m.mu.Unlock()
 
-	once.Do(func() {
-		tc, err := compute()
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		m.misses++
-		if err == nil {
-			m.put(key, tc.Clone())
-		}
-		m.results[key] = &memoResult{tc: tc, err: err}
-		delete(m.inflight, key)
-	})
+	tc, err := compute()
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if r, ok := m.results[key]; ok && r.err != nil {
-		// Leave the error visible to every waiter of this round; the entry
-		// is not cached so a later GetOrCompute retries from scratch.
-		return nil, r.err
+	m.misses++
+	if err == nil {
+		m.put(key, tc.Clone())
 	}
-	if el, ok := m.byK[key]; ok {
-		return el.Value.(*memoEntry).tc.Clone(), nil
+	call.tc, call.err = tc, err
+	delete(m.inflight, key)
+	m.mu.Unlock()
+	close(call.done)
+
+	if err != nil {
+		return nil, err
 	}
-	if r, ok := m.results[key]; ok {
-		// Cached result was evicted between compute and this lookup (tiny
-		// capacity); fall back to the computation's own copy.
-		return r.tc.Clone(), nil
-	}
-	return nil, nil
+	// The computing request owns the freshly measured trace (a clone went
+	// into the cache), so no extra copy is needed.
+	return tc, nil
 }
 
 // Invalidate drops the entry for key (e.g. after injecting a fault into
@@ -178,7 +200,6 @@ func (m *CalibrationMemo) Invalidate(key CalibrationKey) bool {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	delete(m.results, key)
 	el, ok := m.byK[key]
 	if !ok {
 		return false
@@ -197,7 +218,6 @@ func (m *CalibrationMemo) InvalidateAll() {
 	defer m.mu.Unlock()
 	m.lru.Init()
 	m.byK = map[CalibrationKey]*list.Element{}
-	m.results = map[CalibrationKey]*memoResult{}
 }
 
 // Stats returns hit/miss counters and the current entry count.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -96,43 +97,68 @@ func NewAdvisor(c cloud.Cluster, rng *rand.Rand, cfg AdvisorConfig) *Advisor {
 // Calibrate measures the TP-matrix and runs the RPCA analysis (Algorithm 1
 // lines 1–2). It returns the error of the RPCA solver, if any.
 func (a *Advisor) Calibrate() error {
-	tc := cloud.CalibrateTP(a.cluster, a.rng, a.cfg.TimeStep, a.cfg.Gap, a.cfg.Calibration)
+	return a.CalibrateCtx(context.Background())
+}
+
+// CalibrateCtx is Calibrate with cancellation: the context threads
+// through the measurement loop (cloud.CalibrateTPCtx) and into the
+// solver iterations, so a cancelled context aborts with a *cancel.Error
+// (matching cancel.ErrCanceled) and leaves the previous guidance in
+// place — a half-measured calibration is never installed.
+func (a *Advisor) CalibrateCtx(ctx context.Context) error {
+	tc, err := cloud.CalibrateTPCtx(ctx, a.cluster, a.rng, a.cfg.TimeStep, a.cfg.Gap, a.cfg.Calibration)
+	if err != nil {
+		return err
+	}
 	a.lastCal = tc
 	a.calibrations++
 	a.totalCalCost += tc.TotalCost
-	return a.analyze(tc)
+	return a.analyze(ctx, tc)
 }
 
 // AnalyzeCalibration installs a pre-recorded temporal calibration (e.g.
 // from a replayed trace) instead of measuring a fresh one.
 func (a *Advisor) AnalyzeCalibration(tc *cloud.TemporalCalibration) error {
+	return a.AnalyzeCalibrationCtx(context.Background(), tc)
+}
+
+// AnalyzeCalibrationCtx is AnalyzeCalibration with cancellation
+// threaded into the solver iteration loops.
+func (a *Advisor) AnalyzeCalibrationCtx(ctx context.Context, tc *cloud.TemporalCalibration) error {
 	a.lastCal = tc
 	a.calibrations++
 	a.totalCalCost += tc.TotalCost
-	return a.analyze(tc)
+	return a.analyze(ctx, tc)
 }
 
-func (a *Advisor) analyze(tc *cloud.TemporalCalibration) error {
+func (a *Advisor) analyze(ctx context.Context, tc *cloud.TemporalCalibration) error {
+	// Thread the context into per-call copies of the solver options; the
+	// configured options stay context-free so an Advisor can be reused
+	// across requests with different lifetimes.
+	rpcaOpts := a.cfg.RPCAOpts
+	rpcaOpts.Ctx = ctx
+	ialmOpts := a.cfg.IALM
+	ialmOpts.Ctx = ctx
 	var latD, bwD *Decomposition
 	var err error
 	if tc.Mask != nil {
 		// Partially observed calibration: the masked IALM solver
 		// reconstructs the constant component through the gaps instead of
 		// treating zero-filled holes as genuine (extreme) observations.
-		latD, err = DecomposeTPMaskedWith(a.solver, tc.Latency, tc.Mask, a.cfg.IALM, a.cfg.Extract)
+		latD, err = DecomposeTPMaskedWith(a.solver, tc.Latency, tc.Mask, ialmOpts, a.cfg.Extract)
 		if err != nil {
 			return err
 		}
-		bwD, err = DecomposeTPMaskedWith(a.solver, tc.Bandwidth, tc.Mask, a.cfg.IALM, a.cfg.Extract)
+		bwD, err = DecomposeTPMaskedWith(a.solver, tc.Bandwidth, tc.Mask, ialmOpts, a.cfg.Extract)
 		if err != nil {
 			return err
 		}
 	} else {
-		latD, err = DecomposeTPWith(a.solver, tc.Latency, a.cfg.RPCAOpts, a.cfg.Extract)
+		latD, err = DecomposeTPWith(a.solver, tc.Latency, rpcaOpts, a.cfg.Extract)
 		if err != nil {
 			return err
 		}
-		bwD, err = DecomposeTPWith(a.solver, tc.Bandwidth, a.cfg.RPCAOpts, a.cfg.Extract)
+		bwD, err = DecomposeTPWith(a.solver, tc.Bandwidth, rpcaOpts, a.cfg.Extract)
 		if err != nil {
 			return err
 		}

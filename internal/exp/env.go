@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -58,6 +59,25 @@ type Config struct {
 	// count (they differ from Memo=nil runs, whose calibration consumes
 	// the environment's own rng and cluster streams).
 	Memo *cloud.CalibrationMemo
+	// Ctx, when non-nil, cancels the sweep: workers stop claiming new
+	// points once it is done (in-flight points drain to completion and
+	// are checkpointed), and the figure returns a *cancel.Error matching
+	// cancel.ErrCanceled. The context also threads into calibration and
+	// the RPCA solver loops. Nil means "never cancel".
+	Ctx context.Context
+	// Ckpt, when non-nil, journals every completed sweep point (keyed by
+	// the figure name and its hashed PointSeed) and, on a resumed run,
+	// replays journaled points instead of recomputing them. Because each
+	// point's result lands in an index-addressed slot and each point's
+	// rng stream is derived purely from (figure, seed, index), a resumed
+	// sweep produces byte-identical tables to an uninterrupted one.
+	Ckpt *Checkpoint
+	// PointHook, when non-nil, is called after each sweep point completes
+	// (and, when Ckpt is set, after it is journaled) with the figure name
+	// and point index. Points run on worker goroutines, so the hook must
+	// be safe for concurrent use. Used by crash/cancellation testing to
+	// interrupt a run at a precise point count.
+	PointHook func(figure string, index int)
 }
 
 // Quick returns a configuration sized for tests and laptops.
@@ -154,8 +174,9 @@ func newEnvAdv(cfg Config, n int, seedOffset int64, pc cloud.ProviderConfig, adv
 // never consult the memo; experiments that mutate the substrate under a
 // previously memoized key must call Memo.Invalidate.
 func calibrateEnv(cfg Config, n int, seedOffset int64, pc cloud.ProviderConfig, advCfg core.AdvisorConfig, vc *cloud.VirtualCluster, adv *core.Advisor) error {
+	ctx := cfg.context()
 	if cfg.Memo == nil {
-		return adv.Calibrate()
+		return adv.CalibrateCtx(ctx)
 	}
 	key := cloud.CalibrationKey{
 		Provider: pc,
@@ -166,18 +187,18 @@ func calibrateEnv(cfg Config, n int, seedOffset int64, pc cloud.ProviderConfig, 
 		Gap:      advCfg.Gap,
 		Cal:      advCfg.Calibration,
 	}
-	tc, err := cfg.Memo.GetOrCompute(key, func() (*cloud.TemporalCalibration, error) {
+	tc, err := cfg.Memo.GetOrComputeCtx(ctx, key, func() (*cloud.TemporalCalibration, error) {
 		replica, err := cloud.NewProvider(pc).Provision(n, key.ProvSeed)
 		if err != nil {
 			return nil, err
 		}
-		return cloud.CalibrateTP(replica, stats.NewRNG(key.RNGSeed), key.Steps, key.Gap, advCfg.Calibration), nil
+		return cloud.CalibrateTPCtx(ctx, replica, stats.NewRNG(key.RNGSeed), key.Steps, key.Gap, advCfg.Calibration)
 	})
 	if err != nil {
 		return err
 	}
 	vc.AdvanceTime(tc.TotalCost)
-	return adv.AnalyzeCalibration(tc)
+	return adv.AnalyzeCalibrationCtx(ctx, tc)
 }
 
 // collectiveElapsed plans the strategy's tree against the advisor guidance

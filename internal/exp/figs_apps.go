@@ -54,7 +54,7 @@ func runAppSweep(e *env, figure string, res *Fig9Result, keys []string,
 		snaps[i] = e.cluster.SnapshotPerf()
 	}
 	evals := make([][]apps.Breakdown, len(keys))
-	if err := runPoints(figure, cfg.Seed, cfg.workers(), len(keys), func(i int, _ *rand.Rand) error {
+	if err := sweepPoints(cfg, figure, evals, func(i int, _ *rand.Rand) error {
 		bds := make([]apps.Breakdown, len(strategiesEC2))
 		for si, s := range strategiesEC2 {
 			bd, err := eval(i, s, snaps[i])

@@ -40,22 +40,23 @@ func Fig4Calibration(cfg Config, sizes []int) (*Fig4Result, error) {
 		CostSeconds: map[int]float64{},
 	}
 	// Each size is an independent sweep point: its own provisioned
-	// cluster, no shared state.
+	// cluster, no shared state. Fields are exported so completed points
+	// gob-journal into the crash checkpoint.
 	type fig4Point struct {
-		est      float64
-		measured string
+		Est      float64
+		Measured string
 	}
 	pts := make([]fig4Point, len(sizes))
-	if err := runPoints("fig4", cfg.Seed, cfg.workers(), len(sizes), func(i int, _ *rand.Rand) error {
+	if err := sweepPoints(cfg, "fig4", pts, func(i int, _ *rand.Rand) error {
 		n := sizes[i]
 		// The figure covers one whole TP-matrix: time-step (10) calibration
 		// passes.
-		pts[i].est = float64(cfg.TimeStep) * cloud.EstimateCalibrationCost(n, typical, cloud.CalibrationConfig{})
+		pts[i].Est = float64(cfg.TimeStep) * cloud.EstimateCalibrationCost(n, typical, cloud.CalibrationConfig{})
 		if n <= cfg.VMs*2 { // actually run the small sizes
 			e, err := newEnv(cfg, n, int64(n))
 			if err == nil {
 				cal := cloud.CalibrateTP(e.cluster, e.rng, cfg.TimeStep, 0, cloud.CalibrationConfig{})
-				pts[i].measured = f(cal.TotalCost / 60)
+				pts[i].Measured = f(cal.TotalCost / 60)
 			}
 		}
 		return nil
@@ -63,8 +64,8 @@ func Fig4Calibration(cfg Config, sizes []int) (*Fig4Result, error) {
 		return nil, err
 	}
 	for i, n := range sizes {
-		res.CostSeconds[n] = pts[i].est
-		res.Table.AddRow(fmt.Sprint(n), f(pts[i].est/60), pts[i].measured)
+		res.CostSeconds[n] = pts[i].Est
+		res.Table.AddRow(fmt.Sprint(n), f(pts[i].Est/60), pts[i].Measured)
 	}
 
 	// Measure the RPCA analysis cost at the largest requested size. The
@@ -161,11 +162,11 @@ func Fig6Threshold(cfg Config, thresholds []float64, days float64) (*Fig6Result,
 	// identically-seeded initial calibrations are where the calibration
 	// memo collapses the sweep's measurement cost to a single computation.
 	type fig6Point struct {
-		avg, maintenance float64
-		recals           int
+		Avg, Maintenance float64
+		Recals           int
 	}
 	pts := make([]fig6Point, len(thresholds))
-	err := runPoints("fig6", cfg.Seed, cfg.workers(), len(thresholds), func(i int, _ *rand.Rand) error {
+	err := sweepPoints(cfg, "fig6", pts, func(i int, _ *rand.Rand) error {
 		th := thresholds[i]
 		e, err := newEnvAdv(cfg, cfg.VMs, 600, cloud.ProviderConfig{},
 			core.AdvisorConfig{TimeStep: cfg.TimeStep, Threshold: th})
@@ -187,9 +188,9 @@ func Fig6Threshold(cfg Config, thresholds []float64, days float64) (*Fig6Result,
 			}
 		}
 		pts[i] = fig6Point{
-			avg:         bcastSum / float64(runs),
-			maintenance: (e.advisor.CalibrationCost() - initialCost) / float64(runs),
-			recals:      e.advisor.Recalibrations(),
+			Avg:         bcastSum / float64(runs),
+			Maintenance: (e.advisor.CalibrationCost() - initialCost) / float64(runs),
+			Recals:      e.advisor.Recalibrations(),
 		}
 		return nil
 	})
@@ -197,10 +198,10 @@ func Fig6Threshold(cfg Config, thresholds []float64, days float64) (*Fig6Result,
 		return nil, err
 	}
 	for i, th := range thresholds {
-		res.AvgBcast[th] = pts[i].avg
-		res.MaintenancePerRun[th] = pts[i].maintenance
-		res.Recalibrations[th] = pts[i].recals
-		res.Table.AddRow(pct(th), f(pts[i].avg), f(pts[i].maintenance), f(pts[i].avg+pts[i].maintenance), fmt.Sprint(pts[i].recals))
+		res.AvgBcast[th] = pts[i].Avg
+		res.MaintenancePerRun[th] = pts[i].Maintenance
+		res.Recalibrations[th] = pts[i].Recals
+		res.Table.AddRow(pct(th), f(pts[i].Avg), f(pts[i].Maintenance), f(pts[i].Avg+pts[i].Maintenance), fmt.Sprint(pts[i].Recals))
 	}
 	res.Table.AddNote("%d runs over %.1f days, one broadcast every 30 min", runs, days)
 	return res, nil
@@ -251,16 +252,16 @@ func Fig7Overall(cfg Config) (*Fig7Result, error) {
 		task := mapping.RandomTaskGraph(e.rng, cfg.VMs, 0.1, 5<<20, 10<<20)
 		inputs[r] = fig7Input{snap: snap, root: root, task: task}
 	}
-	type fig7Eval struct{ b, sc, m float64 }
+	type fig7Eval struct{ B, Sc, M float64 }
 	evals := make([][]fig7Eval, cfg.Runs)
-	if err := runPoints("fig7", cfg.Seed, cfg.workers(), cfg.Runs, func(r int, _ *rand.Rand) error {
+	if err := sweepPoints(cfg, "fig7", evals, func(r int, _ *rand.Rand) error {
 		in := inputs[r]
 		ev := make([]fig7Eval, len(strategiesEC2))
 		for si, s := range strategiesEC2 {
 			ev[si] = fig7Eval{
-				b:  e.collectiveElapsed(s, mpi.Broadcast, in.root, in.snap),
-				sc: e.collectiveElapsed(s, mpi.Scatter, in.root, in.snap),
-				m:  e.mappingElapsed(s, in.task, in.snap),
+				B:  e.collectiveElapsed(s, mpi.Broadcast, in.root, in.snap),
+				Sc: e.collectiveElapsed(s, mpi.Scatter, in.root, in.snap),
+				M:  e.mappingElapsed(s, in.task, in.snap),
 			}
 		}
 		evals[r] = ev
@@ -270,10 +271,10 @@ func Fig7Overall(cfg Config) (*Fig7Result, error) {
 	}
 	for r := 0; r < cfg.Runs; r++ {
 		for si, s := range strategiesEC2 {
-			sums[s]["broadcast"] += evals[r][si].b
-			bcast[s] = append(bcast[s], evals[r][si].b)
-			sums[s]["scatter"] += evals[r][si].sc
-			sums[s]["mapping"] += evals[r][si].m
+			sums[s]["broadcast"] += evals[r][si].B
+			bcast[s] = append(bcast[s], evals[r][si].B)
+			sums[s]["scatter"] += evals[r][si].Sc
+			sums[s]["mapping"] += evals[r][si].M
 		}
 	}
 	res := &Fig7Result{
@@ -325,11 +326,11 @@ func Fig8ClusterSize(cfg Config) (*Fig8Result, error) {
 	// cluster and advisor — so the sizes run as parallel sweep points.
 	sizes := []int{cfg.SmallVMs, cfg.VMs}
 	type fig8Point struct {
-		imp    map[string]float64
-		spread int
+		Imp    map[string]float64
+		Spread int
 	}
 	pts := make([]fig8Point, len(sizes))
-	err := runPoints("fig8", cfg.Seed, cfg.workers(), len(sizes), func(i int, _ *rand.Rand) error {
+	err := sweepPoints(cfg, "fig8", pts, func(i int, _ *rand.Rand) error {
 		n := sizes[i]
 		sub := cfg
 		sub.VMs = n
@@ -355,15 +356,15 @@ func Fig8ClusterSize(cfg Config) (*Fig8Result, error) {
 		for _, app := range []string{"broadcast", "scatter", "mapping"} {
 			imp[app] = stats.RelImprovement(sums[core.Baseline][app], sums[core.RPCA][app])
 		}
-		pts[i] = fig8Point{imp: imp, spread: e.cluster.RackSpread()}
+		pts[i] = fig8Point{Imp: imp, Spread: e.cluster.RackSpread()}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, n := range sizes {
-		res.Improvement[n] = pts[i].imp
-		res.Table.AddRow(fmt.Sprint(n), pct(pts[i].imp["broadcast"]), pct(pts[i].imp["scatter"]), pct(pts[i].imp["mapping"]), fmt.Sprint(pts[i].spread))
+		res.Improvement[n] = pts[i].Imp
+		res.Table.AddRow(fmt.Sprint(n), pct(pts[i].Imp["broadcast"]), pct(pts[i].Imp["scatter"]), pct(pts[i].Imp["mapping"]), fmt.Sprint(pts[i].Spread))
 	}
 	return res, nil
 }

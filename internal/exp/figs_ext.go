@@ -49,13 +49,13 @@ func ExtEconomics(cfg Config) (*ExtEconomicsResult, error) {
 		e.cluster.AdvanceTime(30 * 60)
 		inputs[r] = econInput{snap: e.cluster.SnapshotPerf(), root: e.rng.Intn(cfg.VMs)}
 	}
-	type econEval struct{ base, rpca float64 }
+	type econEval struct{ Base, Rpca float64 }
 	evals := make([]econEval, cfg.Runs)
-	if err := runPoints("ext-economics", cfg.Seed, cfg.workers(), cfg.Runs, func(r int, _ *rand.Rand) error {
+	if err := sweepPoints(cfg, "ext-economics", evals, func(r int, _ *rand.Rand) error {
 		in := inputs[r]
 		evals[r] = econEval{
-			base: e.collectiveElapsed(core.Baseline, mpi.Broadcast, in.root, in.snap),
-			rpca: e.collectiveElapsed(core.RPCA, mpi.Broadcast, in.root, in.snap),
+			Base: e.collectiveElapsed(core.Baseline, mpi.Broadcast, in.root, in.snap),
+			Rpca: e.collectiveElapsed(core.RPCA, mpi.Broadcast, in.root, in.snap),
 		}
 		return nil
 	}); err != nil {
@@ -63,8 +63,8 @@ func ExtEconomics(cfg Config) (*ExtEconomicsResult, error) {
 	}
 	var baseSum, rpcaSum float64
 	for r := 0; r < cfg.Runs; r++ {
-		baseSum += evals[r].base
-		rpcaSum += evals[r].rpca
+		baseSum += evals[r].Base
+		rpcaSum += evals[r].Rpca
 	}
 	baseMean := baseSum / float64(cfg.Runs)
 	rpcaMean := rpcaSum / float64(cfg.Runs)
@@ -124,17 +124,17 @@ func ExtCollectives(cfg Config) (*ExtCollectivesResult, error) {
 		e.cluster.AdvanceTime(30 * 60)
 		snaps[r] = e.cluster.SnapshotPerf()
 	}
-	type collEval struct{ gb, pw, ring float64 }
+	type collEval struct{ Gb, Pw, Ring float64 }
 	evals := make([]collEval, cfg.Runs)
-	if err := runPoints("ext-collectives", cfg.Seed, cfg.workers(), cfg.Runs, func(r int, _ *rand.Rand) error {
+	if err := sweepPoints(cfg, "ext-collectives", evals, func(r int, _ *rand.Rand) error {
 		snap := snaps[r]
 		w := e.advisor.Constant().Weights(float64(chunk))
 		tree := e.advisor.PlanTree(core.RPCA, 0, float64(chunk), nil, nil)
 		order := mpi.ChainFromWeights(w, 0)
 		evals[r] = collEval{
-			gb:   mpi.RunAllToAll(mpi.NewAnalyticNet(snap), tree, tree, float64(chunk)),
-			pw:   mpi.PairwiseAlltoall(mpi.NewAnalyticNet(snap), order, float64(chunk)),
-			ring: mpi.RingAllreduce(mpi.NewAnalyticNet(snap), order, float64(chunk)*float64(n)),
+			Gb:   mpi.RunAllToAll(mpi.NewAnalyticNet(snap), tree, tree, float64(chunk)),
+			Pw:   mpi.PairwiseAlltoall(mpi.NewAnalyticNet(snap), order, float64(chunk)),
+			Ring: mpi.RingAllreduce(mpi.NewAnalyticNet(snap), order, float64(chunk)*float64(n)),
 		}
 		return nil
 	}); err != nil {
@@ -142,9 +142,9 @@ func ExtCollectives(cfg Config) (*ExtCollectivesResult, error) {
 	}
 	sums := map[string]float64{}
 	for r := 0; r < cfg.Runs; r++ {
-		sums["gather+broadcast (paper)"] += evals[r].gb
-		sums["pairwise exchange"] += evals[r].pw
-		sums["ring allreduce (same volume)"] += evals[r].ring
+		sums["gather+broadcast (paper)"] += evals[r].Gb
+		sums["pairwise exchange"] += evals[r].Pw
+		sums["ring allreduce (same volume)"] += evals[r].Ring
 	}
 	for name, s := range sums {
 		res.Elapsed[name] = s / float64(cfg.Runs)
@@ -296,7 +296,7 @@ func ExtWorkflow(cfg Config) (*ExtWorkflowResult, error) {
 		}
 	}
 	evals := make([]map[string]float64, cfg.Runs)
-	if err := runPoints("ext-workflow", cfg.Seed, cfg.workers(), cfg.Runs, func(r int, _ *rand.Rand) error {
+	if err := sweepPoints(cfg, "ext-workflow", evals, func(r int, _ *rand.Rand) error {
 		in := inputs[r]
 		plans := map[string][]int{}
 		plans["round-robin"] = workflow.RoundRobin(in.dag, cfg.VMs)

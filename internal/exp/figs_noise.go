@@ -184,29 +184,35 @@ func Fig10ErrorImpact(cfg Config, targets []float64) (*Fig10Result, error) {
 	// read the split-off streams exclusively), so the splits are pre-derived
 	// sequentially in the exact order the nested loops made them and the
 	// heavy (target, seed) points fan out over the worker pool.
+	// The rng-bearing inputs live apart from the serializable outputs so
+	// completed points can gob-journal into the crash checkpoint (a
+	// *rand.Rand does not round-trip; a replayStudy does).
 	const noiseSeeds = 3
-	type fig10Point struct {
+	type fig10Input struct {
 		noiseRNG, replayRNG *rand.Rand
-		achieved            float64
-		st                  *replayStudy
 	}
-	points := make([]fig10Point, len(targets)*noiseSeeds)
+	type fig10Point struct {
+		Achieved float64
+		St       *replayStudy
+	}
+	inputs := make([]fig10Input, len(targets)*noiseSeeds)
 	for ti, target := range targets {
 		for seed := 0; seed < noiseSeeds; seed++ {
-			p := &points[ti*noiseSeeds+seed]
-			p.noiseRNG = stats.Split(e.rng, int64(target*1000)+int64(seed))
-			p.replayRNG = stats.Split(e.rng, 7+int64(target*1000)+int64(seed))
+			in := &inputs[ti*noiseSeeds+seed]
+			in.noiseRNG = stats.Split(e.rng, int64(target*1000)+int64(seed))
+			in.replayRNG = stats.Split(e.rng, 7+int64(target*1000)+int64(seed))
 		}
 	}
-	if err := runPoints("fig10", cfg.Seed, cfg.workers(), len(points), func(i int, _ *rand.Rand) error {
-		p := &points[i]
+	points := make([]fig10Point, len(inputs))
+	if err := sweepPoints(cfg, "fig10", points, func(i int, _ *rand.Rand) error {
+		in := inputs[i]
 		target := targets[i/noiseSeeds]
-		noisy, achieved, err := TargetNormE(tr, cfg.TimeStep, target, p.noiseRNG)
+		noisy, achieved, err := TargetNormE(tr, cfg.TimeStep, target, in.noiseRNG)
 		if err != nil {
 			return err
 		}
-		p.achieved = achieved
-		p.st, err = runReplay(cfg, noisy, p.replayRNG)
+		points[i].Achieved = achieved
+		points[i].St, err = runReplay(cfg, noisy, in.replayRNG)
 		return err
 	}); err != nil {
 		return nil, err
@@ -219,9 +225,9 @@ func Fig10ErrorImpact(cfg Config, targets []float64) (*Fig10Result, error) {
 		var achievedSum float64
 		for seed := 0; seed < noiseSeeds; seed++ {
 			p := &points[ti*noiseSeeds+seed]
-			achievedSum += p.achieved
+			achievedSum += p.Achieved
 			for _, s := range strategiesEC2 {
-				for app, xs := range p.st.Elapsd[s] {
+				for app, xs := range p.St.Elapsd[s] {
 					agg[s][app] = append(agg[s][app], xs...)
 				}
 			}
@@ -276,32 +282,35 @@ func Fig11Detailed(cfg Config) (*Fig11Result, error) {
 	// and the heavy per-seed noising + replay runs in parallel.
 	var achieved float64
 	const noiseSeeds = 3
-	type fig11Point struct {
+	type fig11Input struct {
 		noiseRNG, replayRNG *rand.Rand
-		achieved            float64
-		st                  *replayStudy
+	}
+	type fig11Point struct {
+		Achieved float64
+		St       *replayStudy
+	}
+	inputs := make([]fig11Input, noiseSeeds)
+	for seed := int64(0); seed < noiseSeeds; seed++ {
+		inputs[seed].noiseRNG = stats.Split(e.rng, 11+seed)
+		inputs[seed].replayRNG = stats.Split(e.rng, 100+seed)
 	}
 	points := make([]fig11Point, noiseSeeds)
-	for seed := int64(0); seed < noiseSeeds; seed++ {
-		points[seed].noiseRNG = stats.Split(e.rng, 11+seed)
-		points[seed].replayRNG = stats.Split(e.rng, 100+seed)
-	}
-	if err := runPoints("fig11", cfg.Seed, cfg.workers(), noiseSeeds, func(i int, _ *rand.Rand) error {
-		p := &points[i]
-		noisy, a, err := TargetNormE(tr, cfg.TimeStep, 0.2, p.noiseRNG)
+	if err := sweepPoints(cfg, "fig11", points, func(i int, _ *rand.Rand) error {
+		in := inputs[i]
+		noisy, a, err := TargetNormE(tr, cfg.TimeStep, 0.2, in.noiseRNG)
 		if err != nil {
 			return err
 		}
-		p.achieved = a
-		p.st, err = runReplay(cfg, noisy, p.replayRNG)
+		points[i].Achieved = a
+		points[i].St, err = runReplay(cfg, noisy, in.replayRNG)
 		return err
 	}); err != nil {
 		return nil, err
 	}
 	for seed := 0; seed < noiseSeeds; seed++ {
-		achieved += points[seed].achieved / noiseSeeds
+		achieved += points[seed].Achieved / noiseSeeds
 		for _, s := range strategiesEC2 {
-			for app, xs := range points[seed].st.Elapsd[s] {
+			for app, xs := range points[seed].St.Elapsd[s] {
 				st.Elapsd[s][app] = append(st.Elapsd[s][app], xs...)
 			}
 		}

@@ -98,8 +98,19 @@ func ExtResilience(cfg Config) (*ExtResilienceResult, error) {
 			scenarios = append(scenarios, scenario{loss, blackout})
 		}
 	}
-	advs := make([]*core.Advisor, len(scenarios))
-	if err := runPoints("ext-resilience", cfg.Seed, cfg.workers(), len(scenarios), func(i int, _ *rand.Rand) error {
+	// Each sweep slot holds the scenario's serializable row data (not the
+	// advisor itself), so completed scenarios gob-journal into the crash
+	// checkpoint.
+	type resPoint struct {
+		Coverage    float64
+		MeanQuality float64
+		NormE       float64
+		RelErr      float64
+		Confidence  string
+		Strategy    string
+	}
+	pts := make([]resPoint, len(scenarios))
+	if err := sweepPoints(cfg, "ext-resilience", pts, func(i int, _ *rand.Rand) error {
 		p, vc, err := build()
 		if err != nil {
 			return err
@@ -116,30 +127,36 @@ func ExtResilience(cfg Config) (*ExtResilienceResult, error) {
 		if err := adv.Calibrate(); err != nil {
 			return err
 		}
-		advs[i] = adv
+		h := adv.Health()
+		pts[i] = resPoint{
+			Coverage:    h.Coverage,
+			MeanQuality: h.MeanQuality,
+			NormE:       adv.NormE(),
+			RelErr:      relErr(adv),
+			Confidence:  h.Confidence.String(),
+			Strategy:    adv.EffectiveStrategy(core.RPCA).String(),
+		}
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 	for i, scen := range scenarios {
-		adv := advs[i]
-		e := relErr(adv)
-		if e > res.WorstErr {
-			res.WorstErr = e
+		p := pts[i]
+		if p.RelErr > res.WorstErr {
+			res.WorstErr = p.RelErr
 		}
-		h := adv.Health()
 		yn := "no"
 		if scen.blackout {
 			yn = "yes"
 		}
 		res.Table.AddRow(
 			fmt.Sprintf("%.0f%%", 100*scen.loss), yn,
-			fmt.Sprintf("%.1f%%", 100*h.Coverage),
-			fmt.Sprintf("%.2f", h.MeanQuality),
-			fmt.Sprintf("%.4f", adv.NormE()),
-			fmt.Sprintf("%.4f", e),
-			h.Confidence.String(),
-			adv.EffectiveStrategy(core.RPCA).String(),
+			fmt.Sprintf("%.1f%%", 100*p.Coverage),
+			fmt.Sprintf("%.2f", p.MeanQuality),
+			fmt.Sprintf("%.4f", p.NormE),
+			fmt.Sprintf("%.4f", p.RelErr),
+			p.Confidence,
+			p.Strategy,
 		)
 	}
 	res.Table.AddNote("blackout: first VM's rack dark from %.0fs for %.0fs (fault-free calibration costs %.0fs)",

@@ -82,7 +82,7 @@ func Fig12Background(cfg Config, lambdas, msgSizes []float64) (*Fig12Result, err
 	// Every point builds and calibrates its own simulated cluster, so the
 	// sweep is embarrassingly parallel.
 	neLambda := make([]float64, len(lambdas))
-	if err := runPoints("fig12a", cfg.Seed, cfg.workers(), len(lambdas), func(i int, _ *rand.Rand) error {
+	if err := sweepPoints(cfg, "fig12a", neLambda, func(i int, _ *rand.Rand) error {
 		sc := simClusterFor(cfg, lambdas[i], 100<<20, bgLinks, 0, 1200+int64(lambdas[i]))
 		ne, err := simNormE(cfg, sc)
 		sc.StopBackground()
@@ -96,7 +96,7 @@ func Fig12Background(cfg Config, lambdas, msgSizes []float64) (*Fig12Result, err
 		res.TableA.AddRow(f(l), f(neLambda[i]))
 	}
 	neMsg := make([]float64, len(msgSizes))
-	if err := runPoints("fig12b", cfg.Seed, cfg.workers(), len(msgSizes), func(i int, _ *rand.Rand) error {
+	if err := sweepPoints(cfg, "fig12b", neMsg, func(i int, _ *rand.Rand) error {
 		sc := simClusterFor(cfg, 5, msgSizes[i], bgLinks, 0, 1300+int64(msgSizes[i]/(1<<20)))
 		ne, err := simNormE(cfg, sc)
 		sc.StopBackground()
@@ -184,7 +184,7 @@ func Fig13Simulation(cfg Config, bgLambda, bgBytes float64) (*Fig13Result, error
 		}
 	}
 	mapElapsed := make([][]float64, cfg.Runs)
-	if err := runPoints("fig13", cfg.Seed, cfg.workers(), cfg.Runs, func(r int, _ *rand.Rand) error {
+	if err := sweepPoints(cfg, "fig13", mapElapsed, func(r int, _ *rand.Rand) error {
 		in := inputs[r]
 		mels := make([]float64, len(strategiesSim))
 		for si, s := range strategiesSim {

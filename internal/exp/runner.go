@@ -23,11 +23,16 @@ package exp
 // the original nested loops, not merely statistically equivalent.
 
 import (
+	"bytes"
+	"context"
+	"encoding/gob"
 	"hash/fnv"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"netconstant/internal/cancel"
 )
 
 // workers resolves the configured worker count: Config.Workers if
@@ -37,6 +42,15 @@ func (c Config) workers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// context resolves the configured cancellation context (Background when
+// none was injected).
+func (c Config) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // PointSeed derives the deterministic seed of sweep point i of a figure.
@@ -69,24 +83,53 @@ func pointRNG(figure string, base int64, i int) *rand.Rand {
 	return rand.New(rand.NewSource(PointSeed(figure, base, i)))
 }
 
-// runPoints executes fn for every point index in [0, n) on up to
-// `workers` goroutines. Every point runs to completion even if an
-// earlier one failed; the returned error is the lowest-index failure, so
-// the outcome is independent of scheduling.
-func runPoints(figure string, baseSeed int64, workers, n int, fn func(i int, rng *rand.Rand) error) error {
+// runPoints executes fn for every point index in [0, n) whose skip flag
+// is unset, on up to cfg.workers() goroutines. Every started point runs
+// to completion even if an earlier one failed; the returned error is the
+// lowest-index failure, so the outcome is independent of scheduling.
+//
+// after, when non-nil, runs on the worker goroutine right after a point's
+// fn succeeds (checkpoint journaling and the PointHook live there); an
+// after error counts as that point's failure.
+//
+// Cancellation is a graceful drain: once cfg.Ctx is done, workers stop
+// claiming new points, in-flight points finish (and are journaled), and
+// — if no point itself failed — the sweep returns a *cancel.Error
+// carrying how many of the n points were complete (journaled skips
+// included).
+func runPoints(cfg Config, figure string, n int, skip []bool, after func(i int) error, fn func(i int, rng *rand.Rand) error) error {
 	if n <= 0 {
 		return nil
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	ctx := cfg.context()
+	workers := cfg.workers()
 	if workers > n {
 		workers = n
 	}
+	nskip := 0
+	for _, s := range skip {
+		if s {
+			nskip++
+		}
+	}
 	errs := make([]error, n)
+	run := func(i int) {
+		errs[i] = fn(i, pointRNG(figure, cfg.Seed, i))
+		if errs[i] == nil && after != nil {
+			errs[i] = after(i)
+		}
+	}
+	var processed atomic.Int64
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = fn(i, pointRNG(figure, baseSeed, i))
+			if skip != nil && skip[i] {
+				continue
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			run(i)
+			processed.Add(1)
 		}
 	} else {
 		var next atomic.Int64
@@ -100,7 +143,14 @@ func runPoints(figure string, baseSeed int64, workers, n int, fn func(i int, rng
 					if i >= n {
 						return
 					}
-					errs[i] = fn(i, pointRNG(figure, baseSeed, i))
+					if skip != nil && skip[i] {
+						continue
+					}
+					if ctx.Err() != nil {
+						return
+					}
+					run(i)
+					processed.Add(1)
 				}
 			}()
 		}
@@ -111,5 +161,68 @@ func runPoints(figure string, baseSeed int64, workers, n int, fn func(i int, rng
 			return err
 		}
 	}
+	if done := int(processed.Load()) + nskip; done < n {
+		return cancel.Wrap("exp/"+figure, done, n, context.Cause(ctx))
+	}
 	return nil
+}
+
+// gobEncode/gobDecode are the checkpoint payload codec. Gob preserves
+// exact float64 bit patterns (NaN and ±Inf included), which the
+// byte-identical-resume guarantee depends on.
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// sweepPoints is the checkpointed sweep harness every figure builds on:
+// pts is the sweep's index-addressed result slice, and fn(i, rng) fills
+// pts[i] (and nothing else). With cfg.Ckpt set, each completed point's
+// slot is gob-journaled under its hashed PointSeed, and a resumed run
+// restores journaled slots and skips their indices — the provenance key
+// means a journal recorded under a different figure, seed, or index can
+// never replay into the wrong slot.
+func sweepPoints[T any](cfg Config, figure string, pts []T, fn func(i int, rng *rand.Rand) error) error {
+	n := len(pts)
+	var skip []bool
+	if cfg.Ckpt != nil {
+		skip = make([]bool, n)
+		for i := 0; i < n; i++ {
+			data, ok := cfg.Ckpt.lookup(figure, i, PointSeed(figure, cfg.Seed, i))
+			if !ok {
+				continue
+			}
+			var restored T
+			if err := gobDecode(data, &restored); err != nil {
+				// Undecodable slot (e.g. the figure's point type changed):
+				// recompute it rather than guess.
+				continue
+			}
+			pts[i] = restored
+			skip[i] = true
+		}
+	}
+	after := func(i int) error {
+		if cfg.Ckpt != nil {
+			data, err := gobEncode(&pts[i])
+			if err != nil {
+				return err
+			}
+			if err := cfg.Ckpt.recordPoint(figure, i, PointSeed(figure, cfg.Seed, i), data); err != nil {
+				return err
+			}
+		}
+		if cfg.PointHook != nil {
+			cfg.PointHook(figure, i)
+		}
+		return nil
+	}
+	return runPoints(cfg, figure, n, skip, after, fn)
 }

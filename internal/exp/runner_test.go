@@ -44,7 +44,7 @@ func TestRunPointsLowestIndexError(t *testing.T) {
 		var ran atomic.Int64
 		errLow := errors.New("low")
 		errHigh := errors.New("high")
-		err := runPoints("t", 1, workers, 16, func(i int, _ *rand.Rand) error {
+		err := runPoints(Config{Seed: 1, Workers: workers}, "t", 16, nil, nil, func(i int, _ *rand.Rand) error {
 			ran.Add(1)
 			switch i {
 			case 3:

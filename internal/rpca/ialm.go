@@ -1,6 +1,8 @@
 package rpca
 
 import (
+	"context"
+
 	"netconstant/internal/mat"
 )
 
@@ -15,6 +17,10 @@ type IALMOptions struct {
 	Rho     float64
 	Tol     float64
 	MaxIter int
+	// Ctx, when non-nil, is checked once per iteration: a cancelled
+	// context aborts the solve with a *cancel.Error (matching
+	// cancel.ErrCanceled). Nil means "never cancel".
+	Ctx context.Context
 }
 
 // DecomposeIALM solves the RPCA program with the inexact ALM method:

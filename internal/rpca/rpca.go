@@ -23,9 +23,11 @@
 package rpca
 
 import (
+	"context"
 	"errors"
 	"math"
 
+	"netconstant/internal/cancel"
 	"netconstant/internal/mat"
 )
 
@@ -39,6 +41,11 @@ type Options struct {
 	Eta     float64 // continuation decay in (0,1); 0 selects 0.9
 	Tol     float64 // relative convergence tolerance; 0 selects 1e-7
 	MaxIter int     // iteration cap; 0 selects 500
+	// Ctx, when non-nil, is checked once per iteration: a cancelled
+	// context aborts the solve with a *cancel.Error (matching
+	// cancel.ErrCanceled) carrying the iteration count reached. Nil
+	// means "never cancel" — the zero value keeps its old meaning.
+	Ctx context.Context
 }
 
 // Result is an RPCA decomposition A = D + E.
@@ -110,6 +117,9 @@ func DecomposeFullSVT(a *mat.Dense, opts Options) (*Result, error) {
 
 	res := &Result{}
 	for k := 0; k < maxIter; k++ {
+		if err := cancel.Check(opts.Ctx, "rpca.DecomposeFullSVT", k, maxIter); err != nil {
+			return nil, err
+		}
 		// Momentum extrapolation Y = X_k + ((t_{k-1}-1)/t_k)(X_k - X_{k-1}).
 		beta := (tPrev - 1) / t
 		yd := momentum(d, dPrev, beta)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"netconstant/internal/cancel"
 	"netconstant/internal/mat"
 )
 
@@ -159,6 +160,9 @@ func (s *Solver) Decompose(a *mat.Dense, opts Options) (*Result, error) {
 
 	res := &Result{}
 	for k := 0; k < maxIter; k++ {
+		if err := cancel.Check(opts.Ctx, "rpca.Decompose", k, maxIter); err != nil {
+			return nil, err
+		}
 		num, rank := it.step()
 		res.Iterations = k + 1
 		res.RankD = rank
@@ -259,6 +263,9 @@ func (s *Solver) DecomposeIALM(a *mat.Dense, opts IALMOptions) (*Result, error) 
 
 	res := &Result{}
 	for k := 0; k < maxIter; k++ {
+		if err := cancel.Check(opts.Ctx, "rpca.DecomposeIALM", k, maxIter); err != nil {
+			return nil, err
+		}
 		resid, rank := it.step()
 		res.Iterations = k + 1
 		res.RankD = rank
@@ -360,6 +367,9 @@ func (s *Solver) DecomposeMasked(a, mask *mat.Dense, opts IALMOptions) (*Result,
 
 	res := &Result{}
 	for k := 0; k < maxIter; k++ {
+		if err := cancel.Check(opts.Ctx, "rpca.DecomposeMasked", k, maxIter); err != nil {
+			return nil, err
+		}
 		resid, rank := it.step()
 		res.Iterations = k + 1
 		res.RankD = rank

@@ -152,8 +152,19 @@ func HEFT(d *DAG, vms int, flopRate float64, est Estimator) (*Schedule, error) {
 		}
 		return sum / float64(cnt)
 	}
-	children := make([][]int, n)
+	// Collect-then-sort so child order never depends on map hashing.
+	edges := make([][2]int, 0, len(d.Data))
 	for e := range d.Data {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a][0] != edges[b][0] {
+			return edges[a][0] < edges[b][0]
+		}
+		return edges[a][1] < edges[b][1]
+	})
+	children := make([][]int, n)
+	for _, e := range edges {
 		children[e[0]] = append(children[e[0]], e[1])
 	}
 	rank := make([]float64, n)
