@@ -25,6 +25,15 @@
 // SIGINT/SIGTERM drain gracefully: in-flight sweep points finish and
 // journal, partial outputs are written atomically, and the driver exits
 // with status 130; a second signal force-quits immediately.
+//
+// Exit codes follow the repo-wide convention (internal/cli): 0 success,
+// 1 runtime failure, 2 usage error, 130 interrupted.
+//
+// Fault-injection aids for supervisors and tests (mutually exclusive,
+// each requires -ckpt or -resume): -crashafter N SIGKILLs the process
+// after N journaled sweep points, -failafter N exits 1 (a persistent
+// fatal failure), and -stallafter N SIGSTOPs the process so it stays
+// alive but stops journaling (a wedged run).
 package main
 
 import (
@@ -44,6 +53,7 @@ import (
 
 	"netconstant/internal/cancel"
 	"netconstant/internal/checkpoint"
+	"netconstant/internal/cli"
 	"netconstant/internal/cloud"
 	"netconstant/internal/exp"
 )
@@ -63,10 +73,37 @@ func run() int {
 	nomemo := flag.Bool("nomemo", false, "disable the calibration-trace memo (each figure measures its own calibration)")
 	ckptDir := flag.String("ckpt", "", "journal completed sweep points and figures into this directory (crash-safe; resume with -resume)")
 	resume := flag.String("resume", "", "resume from this checkpoint directory (must hold a journal from a matching run)")
-	crashAfter := flag.Int("crashafter", 0, "testing aid: SIGKILL the process after N journaled sweep points")
+	crashAfter := flag.Int("crashafter", 0, "testing aid: SIGKILL the process after N journaled sweep points (requires -ckpt or -resume)")
+	failAfter := flag.Int("failafter", 0, "testing aid: exit 1 after N journaled sweep points, simulating a persistent fatal failure (requires -ckpt or -resume)")
+	stallAfter := flag.Int("stallafter", 0, "testing aid: SIGSTOP the process after N journaled sweep points, simulating a wedged run (requires -ckpt or -resume)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
+
+	// Flag combinations that cannot be honored are usage errors, not
+	// silently ignored knobs: a campaign supervisor (cmd/expfleet) keys
+	// its retry policy on this distinction, and a human deserves it too.
+	if *workers < 0 {
+		return cli.Usagef("expdriver", "-workers must be ≥ 0, got %d", *workers)
+	}
+	if *crashAfter < 0 || *failAfter < 0 || *stallAfter < 0 {
+		return cli.Usagef("expdriver", "-crashafter/-failafter/-stallafter must be ≥ 0")
+	}
+	if *ckptDir != "" && *resume != "" {
+		return cli.Usagef("expdriver", "-ckpt and -resume are mutually exclusive: -resume already journals into its directory")
+	}
+	armed := 0
+	for _, n := range []int{*crashAfter, *failAfter, *stallAfter} {
+		if n > 0 {
+			armed++
+		}
+	}
+	if armed > 1 {
+		return cli.Usagef("expdriver", "-crashafter, -failafter and -stallafter are mutually exclusive")
+	}
+	if armed == 1 && *ckptDir == "" && *resume == "" {
+		return cli.Usagef("expdriver", "-crashafter/-failafter/-stallafter count journaled sweep points and require -ckpt or -resume")
+	}
 
 	cfg := exp.Quick()
 	if *full {
@@ -99,7 +136,7 @@ func run() int {
 		cancelRun()
 		if s, ok := <-sigCh; ok {
 			fmt.Fprintf(os.Stderr, "expdriver: %v again — forcing exit\n", s)
-			os.Exit(130)
+			os.Exit(cli.ExitInterrupted)
 		}
 	}()
 
@@ -108,7 +145,7 @@ func run() int {
 		dir = *resume
 		if _, err := os.Stat(filepath.Join(dir, exp.JournalName)); err != nil {
 			fmt.Fprintf(os.Stderr, "expdriver: -resume %s: no checkpoint journal there (%v)\n", dir, err)
-			return 2
+			return cli.ExitUsage
 		}
 	}
 	var ckpt *exp.Checkpoint
@@ -117,7 +154,7 @@ func run() int {
 		ckpt, err = exp.OpenCheckpoint(dir, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "expdriver: checkpoint %s: %v\n", dir, err)
-			return 1
+			return cli.ExitFailure
 		}
 		defer ckpt.Close()
 		cfg.Ckpt = ckpt
@@ -127,11 +164,16 @@ func run() int {
 		}
 	}
 
-	if *crashAfter > 0 {
-		target := int64(*crashAfter)
+	if *crashAfter > 0 || *failAfter > 0 || *stallAfter > 0 {
+		crash, fail, stall := *crashAfter > 0, *failAfter > 0, *stallAfter > 0
+		target := int64(*crashAfter + *failAfter + *stallAfter)
 		var journaled atomic.Int64
 		cfg.PointHook = func(string, int) {
-			if journaled.Add(1) == target {
+			if journaled.Add(1) != target {
+				return
+			}
+			switch {
+			case crash:
 				// Simulate a hard crash mid-run: SIGKILL ourselves right
 				// after the Nth point hit the journal, then park this worker
 				// so no further point can slip in before death.
@@ -140,6 +182,19 @@ func run() int {
 					p.Kill()
 				}
 				select {}
+			case fail:
+				// Simulate a persistent fatal failure: the Nth point is
+				// durably journaled (Append fsyncs), so an immediate exit
+				// loses nothing and every retry fails the same way.
+				fmt.Fprintf(os.Stderr, "expdriver: -failafter %d reached — simulating a fatal failure\n", target)
+				os.Exit(cli.ExitFailure)
+			case stall:
+				// Simulate a wedged process: stop the whole process while
+				// staying alive, so liveness checks pass but the journal
+				// freezes. A supervisor watching journal progress must
+				// detect and kill it (SIGKILL works on stopped processes).
+				fmt.Fprintf(os.Stderr, "expdriver: -stallafter %d reached — stopping (SIGSTOP)\n", target)
+				syscall.Kill(os.Getpid(), syscall.SIGSTOP)
 			}
 		}
 	}
@@ -159,7 +214,7 @@ func run() int {
 					names[i] = fig.Name
 				}
 				fmt.Fprintf(os.Stderr, "expdriver: unknown figure %q; valid figures: %s\n", n, strings.Join(names, ", "))
-				return 2
+				return cli.ExitUsage
 			}
 			want[n] = true
 		}
@@ -169,11 +224,11 @@ func run() int {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return cli.ExitFailure
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return cli.ExitFailure
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -237,13 +292,13 @@ func run() int {
 				break
 			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", fig.Name, err)
-			exitCode = 1
+			exitCode = cli.ExitFailure
 			continue
 		}
 		if ckpt != nil {
 			if err := ckpt.RecordFigure(fig.Name, tables); err != nil {
 				fmt.Fprintf(os.Stderr, "expdriver: checkpoint %s: %v\n", fig.Name, err)
-				exitCode = 1
+				exitCode = cli.ExitFailure
 			}
 		}
 		fmt.Printf("== %s: %s (%.1fs)\n\n", fig.Name, fig.Desc, time.Since(start).Seconds())
@@ -259,17 +314,17 @@ func run() int {
 	if *md != "" {
 		if err := checkpoint.WriteFileAtomic(*md, []byte(mdOut.String()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			exitCode = 1
+			exitCode = cli.ExitFailure
 		}
 	}
 	if *jsonOut != "" {
 		if err := checkpoint.WriteFileAtomic(*jsonOut, []byte(strings.Join(jsonLines, "\n")+"\n"), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			exitCode = 1
+			exitCode = cli.ExitFailure
 		}
 	}
 	if interrupted {
-		return 130
+		return cli.ExitInterrupted
 	}
 	return exitCode
 }

@@ -149,3 +149,37 @@ func TestSigintDrainsAndExits130(t *testing.T) {
 		t.Fatalf("resume after SIGINT: %v\n%s", err, out)
 	}
 }
+
+// TestFlagValidation pins the usage-error surface: every rejected flag
+// combination must exit 2 (deterministic config error — a supervisor
+// quarantines these immediately rather than retrying) with a message
+// naming the offending flags.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the stderr diagnostic
+	}{
+		{"negative workers", []string{"-workers", "-1"}, "-workers"},
+		{"negative crashafter", []string{"-crashafter", "-2", "-ckpt", "x"}, "≥ 0"},
+		{"ckpt and resume", []string{"-ckpt", "a", "-resume", "b"}, "mutually exclusive"},
+		{"two fault aids", []string{"-crashafter", "1", "-failafter", "1", "-ckpt", "x"}, "mutually exclusive"},
+		{"aid without journal", []string{"-stallafter", "1"}, "require -ckpt or -resume"},
+		{"unknown figure", []string{"-only", "fig99"}, "fig99"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cmd := driverCmd(tc.args...)
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			var ee *exec.ExitError
+			if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+				t.Fatalf("err = %v, want exit code 2; stderr:\n%s", err, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr %q does not name the problem (%q)", stderr.String(), tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+// Command expfleet runs a campaign of experiments: a declarative plan
+// (JSON: tasks, or a figure × scale × seed × workers matrix) executed by
+// a supervisor that launches each task as a child expdriver process with
+// its own checkpoint journal, healthchecks the journal for progress,
+// relaunches crashed children with -resume under capped exponential
+// backoff, and quarantines permanently failing tasks with a diagnosis
+// while the rest of the campaign completes.
+//
+// Usage:
+//
+//	expfleet -plan campaign.json [-dir out] [-driver path/to/expdriver]
+//	         [-maxprocs N] [-nosabotage] [-validate]
+//
+// The campaign directory collects everything: tasks/<name>/ holds each
+// child's checkpoint journal, stderr log, results.json and report.md;
+// fleet.json is the full operational report (attempts, stalls, resumes,
+// wall times, quarantine diagnoses); fleet-results.json is the
+// deterministic projection — per-task outcomes plus each successful
+// child's verbatim results — that is byte-identical however often the
+// campaign crashed and resumed. The rendered summary goes to stdout.
+//
+// Plans validate entirely before anything launches: unknown figures,
+// invalid scales, duplicate task names and malformed sabotage ops are
+// usage errors (exit 2), reported before a long campaign can waste a
+// single CPU second. -validate stops after that check.
+//
+// SIGINT/SIGTERM drain two-stage: the first signal SIGTERMs every
+// running child (they drain in-flight sweep points and journal, so the
+// campaign is resumable by rerunning the same command), and expfleet
+// exits 130 after writing a partial report; a second signal SIGKILLs
+// the children and force-quits. Exit codes follow the repo convention
+// (internal/cli): 0 every task ok, 1 any task quarantined, 2 usage
+// error, 130 interrupted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"netconstant/internal/checkpoint"
+	"netconstant/internal/cli"
+	"netconstant/internal/plan"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	planPath := flag.String("plan", "", "campaign plan file (JSON); required")
+	dir := flag.String("dir", "", "campaign directory (default: <plan name>.fleet next to the plan file)")
+	driver := flag.String("driver", "expdriver", "expdriver binary to launch tasks with (PATH lookup or explicit path)")
+	maxProcs := flag.Int("maxprocs", 0, "override the plan's max concurrently running children")
+	noSabotage := flag.Bool("nosabotage", false, "strip the plan's sabotage ops (run the clean twin)")
+	validate := flag.Bool("validate", false, "parse and validate the plan, print the task list, and exit")
+	flag.Parse()
+
+	if *planPath == "" {
+		return cli.Usagef("expfleet", "-plan is required")
+	}
+	if *maxProcs < 0 {
+		return cli.Usagef("expfleet", "-maxprocs must be ≥ 0, got %d", *maxProcs)
+	}
+	data, err := os.ReadFile(*planPath)
+	if err != nil {
+		return cli.Usagef("expfleet", "reading plan: %v", err)
+	}
+	p, err := plan.Parse(data)
+	if err != nil {
+		// Validation failures are usage errors: retrying the identical
+		// command line cannot succeed.
+		return cli.Usagef("expfleet", "%s: %v", *planPath, err)
+	}
+	if *noSabotage {
+		p = p.Clean()
+	}
+	if *maxProcs > 0 {
+		p.MaxProcs = *maxProcs
+	}
+	if *validate {
+		fmt.Printf("plan %s (seed %d): %d tasks, max %d procs, %d sabotage ops\n",
+			p.Name, p.Seed, len(p.Tasks), p.MaxProcs, len(p.Sabotage))
+		for _, t := range p.Tasks {
+			fmt.Printf("  %-24s figures=%v scale=%s seed=%d workers=%d\n",
+				t.Name, t.Figures, t.Scale, t.Seed, t.Workers)
+		}
+		return cli.ExitOK
+	}
+
+	campDir := *dir
+	if campDir == "" {
+		campDir = filepath.Join(filepath.Dir(*planPath), p.Name+".fleet")
+	}
+
+	sup := &plan.Supervisor{
+		Plan:   p,
+		Driver: *driver,
+		Dir:    campDir,
+		Log:    os.Stderr,
+		Now:    time.Now,
+	}
+
+	// Two-stage drain: the first SIGINT/SIGTERM cancels the campaign
+	// context (children get SIGTERM and drain; queued tasks are
+	// skipped); a second signal escalates to SIGKILL on every child.
+	ctx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	interrupted := make(chan struct{})
+	go func() {
+		s, ok := <-sigCh
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "expfleet: %v — draining children (signal again to force quit)\n", s)
+		close(interrupted)
+		cancelRun()
+		if s, ok := <-sigCh; ok {
+			fmt.Fprintf(os.Stderr, "expfleet: %v again — SIGKILL to children\n", s)
+			sup.Force()
+		}
+	}()
+
+	rep, err := sup.Run(ctx)
+	if err != nil {
+		return cli.Failf("expfleet", "%v", err)
+	}
+
+	fmt.Print(rep.Render())
+	if err := writeReports(sup, rep, campDir); err != nil {
+		return cli.Failf("expfleet", "%v", err)
+	}
+
+	select {
+	case <-interrupted:
+		fmt.Fprintf(os.Stderr, "expfleet: interrupted — rerun the same command to resume journaled tasks\n")
+		return cli.ExitInterrupted
+	default:
+	}
+	if _, quarantined, interruptedTasks, skipped := rep.Counts(); quarantined > 0 || interruptedTasks > 0 || skipped > 0 {
+		return cli.ExitFailure
+	}
+	return cli.ExitOK
+}
+
+// writeReports writes fleet.json (the full operational report) and
+// fleet-results.json (the deterministic projection), both atomically.
+func writeReports(sup *plan.Supervisor, rep *plan.Report, campDir string) error {
+	full, err := rep.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if err := checkpoint.WriteFileAtomic(filepath.Join(campDir, "fleet.json"), full, 0o644); err != nil {
+		return err
+	}
+	results, err := rep.DeterministicResults(sup)
+	if err != nil {
+		return err
+	}
+	return checkpoint.WriteFileAtomic(filepath.Join(campDir, "fleet-results.json"), results, 0o644)
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"netconstant/internal/cli"
 	"netconstant/internal/cloud"
 	"netconstant/internal/core"
 	"netconstant/internal/faults"
@@ -45,13 +46,13 @@ func main() {
 		runTriangles(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "unknown subcommand %q (want advise|record|replay|schedule|triangles)\n", os.Args[1])
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
 }
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "netconstant:", err)
-	os.Exit(1)
+	os.Exit(cli.ExitFailure)
 }
 
 func provision(vms int, seed int64) (*cloud.Provider, *cloud.VirtualCluster) {

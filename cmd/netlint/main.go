@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"netconstant/internal/analysis"
+	"netconstant/internal/cli"
 )
 
 func main() {
@@ -50,7 +51,7 @@ func main() {
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netlint:", err)
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
 
 	findings := 0
@@ -58,7 +59,7 @@ func main() {
 		diags, err := analysis.Run(pkg, analyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "netlint:", err)
-			os.Exit(2)
+			os.Exit(cli.ExitUsage)
 		}
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
@@ -68,6 +69,6 @@ func main() {
 	}
 	if findings > 0 {
 		fmt.Fprintf(os.Stderr, "netlint: %d finding(s)\n", findings)
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"time"
 
+	"netconstant/internal/cli"
 	"netconstant/internal/mat"
 	"netconstant/internal/rpca"
 )
@@ -124,7 +125,7 @@ func main() {
 	rep.AgreementRelFro = math.Max(relFro(baselineD.D, arenaD.D), relFro(baselineD.D, parD.D))
 	if math.IsNaN(rep.AgreementRelFro) {
 		fmt.Fprintln(os.Stderr, "rpcabench: NaN agreement — a solver produced non-finite entries")
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
@@ -195,6 +196,6 @@ func syntheticTP(rng *rand.Rand, r, c, rank int, spikeFrac float64) *mat.Dense {
 func must(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpcabench:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"netconstant/internal/cancel"
+	"netconstant/internal/cli"
 	"netconstant/internal/cloud"
 	"netconstant/internal/exp"
 	"netconstant/internal/simnet"
@@ -140,12 +141,12 @@ func main() {
 		cancelRun()
 		s = <-sigCh
 		fmt.Fprintf(os.Stderr, "simbench: %v again — forcing exit\n", s)
-		os.Exit(130)
+		os.Exit(cli.ExitInterrupted)
 	}()
 	bailIfInterrupted := func() {
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "simbench: interrupted — no report written")
-			os.Exit(130)
+			os.Exit(cli.ExitInterrupted)
 		}
 	}
 
@@ -172,7 +173,7 @@ func main() {
 	if d := math.Abs(rep.Sim.NormEGlobal-rep.Sim.NormEIncr) / rep.Sim.NormEGlobal; d > 1e-6 {
 		fmt.Fprintf(os.Stderr, "simbench: allocators disagree: global %v vs incremental %v (rel %.2e)\n",
 			rep.Sim.NormEGlobal, rep.Sim.NormEIncr, d)
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
 	fmt.Printf("sim %d machines, %d probes-steps: global %.2fs, incremental %.2fs (%.1fx)\n",
 		rep.Sim.Machines, steps, rep.Sim.GlobalSec, rep.Sim.IncrSec, rep.Sim.Speedup)
@@ -200,7 +201,7 @@ func main() {
 					return // in-flight points drained; the outer checks bail
 				}
 				fmt.Fprintf(os.Stderr, "simbench: %s: %v\n", f.Name, err)
-				os.Exit(1)
+				os.Exit(cli.ExitFailure)
 			}
 		}
 	}
@@ -231,11 +232,11 @@ func main() {
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
 	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
 	fmt.Printf("wrote %s\n", *out)
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"netconstant/internal/cli"
 	"netconstant/internal/cloud"
 	"netconstant/internal/core"
 	"netconstant/internal/mapping"
@@ -59,7 +60,7 @@ func main() {
 	tc := cloud.SnapshotTP(sc, *steps, 5)
 	if err := adv.AnalyzeCalibration(tc); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
 	fmt.Printf("Norm(N_E) = %.4f -> optimizations are %s\n\n", adv.NormE(), adv.Effectiveness())
 

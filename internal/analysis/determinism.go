@@ -45,6 +45,7 @@ var determinismRestricted = [][]string{
 	{"internal", "faults"},
 	{"internal", "checkpoint"},
 	{"internal", "chaos"},
+	{"internal", "plan"},
 }
 
 // randConstructors are the math/rand(/v2) package functions that build

@@ -68,3 +68,46 @@ func TestTotalZeroMessage(t *testing.T) {
 		t.Errorf("Total==0 should omit the progress fraction, got %q", got)
 	}
 }
+
+// TestUnwrapChain pins the full errors.Is/Unwrap contract: a wrapped
+// deadline abort matches the sentinel and its cause — and does NOT
+// match the cause it doesn't carry.
+func TestUnwrapChain(t *testing.T) {
+	err := Wrap("exp/fig7", 5, 12, context.DeadlineExceeded)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("errors.Is(err, ErrCanceled) = false")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("errors.Is(err, context.DeadlineExceeded) = false")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("a deadline abort must not match context.Canceled")
+	}
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("errors.As(*Error) failed for %T", err)
+	}
+	if ce.Unwrap() != context.DeadlineExceeded {
+		t.Errorf("Unwrap() = %v, want the context cause", ce.Unwrap())
+	}
+	// Wrapping a *cancel.Error inside a plain fmt wrapper must keep the
+	// whole chain visible — this is how exp sweeps surface cancellations
+	// through figure-level error wrapping.
+	outer := &Error{Op: "outer", Cause: err}
+	if !errors.Is(outer, ErrCanceled) || !errors.Is(outer, context.DeadlineExceeded) {
+		t.Errorf("nested *Error broke the chain: %v", outer)
+	}
+}
+
+// TestMessageFormat pins the exact rendering both with and without a
+// unit count, since supervisor diagnoses and operator logs quote it.
+func TestMessageFormat(t *testing.T) {
+	withTotal := Wrap("exp/fig7", 5, 12, context.Canceled)
+	if got, want := withTotal.Error(), "exp/fig7: canceled after 5/12: context canceled"; got != want {
+		t.Errorf("message = %q, want %q", got, want)
+	}
+	noTotal := Wrap("cloud.CalibrateTP", 3, 0, context.DeadlineExceeded)
+	if got, want := noTotal.Error(), "cloud.CalibrateTP: canceled: context deadline exceeded"; got != want {
+		t.Errorf("message = %q, want %q", got, want)
+	}
+}

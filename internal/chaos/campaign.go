@@ -58,6 +58,14 @@ func (r Report) String() string {
 // derivation is splitmix-style from (seed, round), so reports replay
 // exactly.
 func Campaign(seed int64, rounds, maxOps int) Report {
+	return CampaignWith(seed, rounds, maxOps, Options{})
+}
+
+// CampaignWith is Campaign with the externally-equipped oracles enabled
+// (the fleet oracle, when opts carries a driver binary). Plan generation
+// is identical either way — opts changes what is checked, not what is
+// drawn — so a failing round's seed replays under either entry point.
+func CampaignWith(seed int64, rounds, maxOps int, opts Options) Report {
 	rep := Report{Seed: seed, Rounds: rounds, MaxOps: maxOps}
 	for r := 0; r < rounds; r++ {
 		roundSeed := seed + int64(r)*0x9e3779b97f4a7c // golden-ratio stride keeps round seeds well separated
@@ -65,7 +73,7 @@ func Campaign(seed int64, rounds, maxOps int) Report {
 		rep.Result = append(rep.Result, RoundResult{
 			Round:    r,
 			Plan:     plan,
-			Failures: RunOracles(plan),
+			Failures: RunOraclesWith(plan, opts),
 		})
 	}
 	return rep

@@ -33,6 +33,13 @@ const (
 	OpBitFlip    = "bit-flip"   // journal damage: flip one seeded bit
 	OpZeroFill   = "zero-fill"  // journal damage: zero a seeded byte range
 	OpDupeRecord = "dupe"       // journal damage: re-append a copy of the final frame
+
+	// Supervisor-level ops, checked by the fleet oracle against a live
+	// expfleet campaign (they are inert when no driver binary is
+	// supplied — see Options.Driver).
+	OpKillChild       = "kill-child"       // N: SIGKILL a campaign child after N journaled points
+	OpStallChild      = "stall-child"      // N: SIGSTOP a campaign child after N journaled points
+	OpCorruptManifest = "corrupt-manifest" // overwrite a task's checkpoint manifest before a launch
 )
 
 // opKinds is the generator's menu, fault ops weighted ahead of damage
@@ -40,6 +47,7 @@ const (
 var opKinds = []string{
 	OpProbeLoss, OpHeavyTail, OpStraggler, OpBlackout, OpPartition, OpChurn,
 	OpKill, OpTruncate, OpBitFlip, OpZeroFill, OpDupeRecord,
+	OpKillChild, OpStallChild, OpCorruptManifest,
 }
 
 // Op is one fault or crash action. Which fields matter depends on Kind;
@@ -112,6 +120,8 @@ func GeneratePlan(rng *rand.Rand, seed int64, maxOps int) Plan {
 			op.N = 1 + rng.Intn(5)
 		case OpBitFlip, OpZeroFill, OpTruncate, OpDupeRecord:
 			op.N = 1 + rng.Intn(4) // damage intensity (repetitions)
+		case OpKillChild, OpStallChild:
+			op.N = 1 + rng.Intn(3) // journaled points before the hit
 		}
 		p.Ops = append(p.Ops, op)
 	}

@@ -1,0 +1,133 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// countTemps returns how many WriteFileAtomic temp droppings sit in dir.
+func countTemps(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestWriteFileAtomicReadOnlyDir: when the target directory is not
+// writable the write must fail up front (CreateTemp) without touching
+// any pre-existing file at the target path.
+func TestWriteFileAtomicReadOnlyDir(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755) // let TempDir cleanup succeed
+
+	err := WriteFileAtomic(path, []byte("v2"), 0o644)
+	if err == nil {
+		t.Fatal("write into read-only directory succeeded")
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "v1" {
+		t.Fatalf("failed write clobbered the target: %q", got)
+	}
+}
+
+// TestWriteFileAtomicStaleTemp: a stale temp file from a crashed
+// earlier writer must not break a new write, and the new write must
+// not remove it (it belongs to the crashed writer's cleanup story, not
+// ours) nor confuse the rename.
+func TestWriteFileAtomicStaleTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	stale := filepath.Join(dir, ".out.json.tmp-12345")
+	if err := os.WriteFile(stale, []byte("torn earlier write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("fresh"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "fresh" {
+		t.Fatalf("content = %q, want %q", got, "fresh")
+	}
+	if _, err := os.Stat(stale); err != nil {
+		t.Fatalf("stale temp file disturbed: %v", err)
+	}
+	if n := countTemps(t, dir); n != 1 {
+		t.Fatalf("%d temp files after write, want exactly the stale one", n)
+	}
+}
+
+// TestWriteFileAtomicTargetIsDirectory: renaming onto an existing
+// directory fails; the error must surface and the temp file must be
+// cleaned up rather than left as a dropping.
+func TestWriteFileAtomicTargetIsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "occupied")
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFileAtomic(path, []byte("data"), 0o644)
+	if err == nil {
+		t.Fatal("rename onto a directory succeeded")
+	}
+	if n := countTemps(t, dir); n != 0 {
+		t.Fatalf("%d temp droppings left after failed rename, want 0", n)
+	}
+	if fi, statErr := os.Stat(path); statErr != nil || !fi.IsDir() {
+		t.Fatalf("target directory disturbed: fi=%v err=%v", fi, statErr)
+	}
+}
+
+// TestWriteFileAtomicMissingParent: the parent directory must exist;
+// WriteFileAtomic does not create it, and the error says why.
+func TestWriteFileAtomicMissingParent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope", "out.json")
+	err := WriteFileAtomic(path, []byte("data"), 0o644)
+	if err == nil {
+		t.Fatal("write under a missing parent directory succeeded")
+	}
+	if !os.IsNotExist(err) {
+		t.Fatalf("error = %v, want a not-exist error", err)
+	}
+}
+
+// TestWriteFileAtomicPerm: the requested mode is applied before the
+// rename, so the file never appears with temp-file permissions.
+func TestWriteFileAtomicPerm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFileAtomic(path, []byte("data"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fi.Mode().Perm(); got != 0o600 {
+		t.Fatalf("mode = %v, want 0600", got)
+	}
+}

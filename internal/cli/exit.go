@@ -1,0 +1,48 @@
+// Package cli holds the conventions shared by every command under
+// cmd/: one process-exit-code vocabulary, so scripts, CI jobs and the
+// expfleet supervisor can interpret any child uniformly.
+//
+// The mapping (documented in README "Operations"):
+//
+//	0   success — the run completed and all invariants held
+//	1   findings or runtime failure — the run completed its control
+//	    flow but something is wrong (lint findings, oracle violations,
+//	    a figure that errored, quarantined campaign tasks)
+//	2   usage error — bad flags, unknown figures, invalid plan files;
+//	    retrying the identical invocation can never succeed
+//	130 interrupted — the run drained gracefully after SIGINT/SIGTERM
+//	    (128+SIGINT, the shell convention)
+//
+// The distinction between 1 and 2 is load-bearing: the expfleet
+// supervisor retries children that fail with 1 (a crash or a transient
+// failure may heal under -resume) but quarantines a 2 immediately —
+// re-executing a malformed command line cannot fix it.
+package cli
+
+import (
+	"fmt"
+	"os"
+)
+
+// The repo-wide exit-code vocabulary.
+const (
+	ExitOK          = 0   // success
+	ExitFailure     = 1   // findings / runtime failure
+	ExitUsage       = 2   // invalid invocation; retry cannot succeed
+	ExitInterrupted = 130 // graceful drain after SIGINT/SIGTERM
+)
+
+// Usagef prints a usage diagnostic as "<cmd>: ..." on stderr and
+// returns ExitUsage, so callers can `return cli.Usagef(...)` from a
+// run() int.
+func Usagef(cmd, format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, cmd+": "+format+"\n", args...)
+	return ExitUsage
+}
+
+// Failf prints a failure diagnostic as "<cmd>: ..." on stderr and
+// returns ExitFailure.
+func Failf(cmd, format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, cmd+": "+format+"\n", args...)
+	return ExitFailure
+}

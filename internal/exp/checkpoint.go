@@ -253,6 +253,79 @@ func (ck *Checkpoint) RecordFigure(figure string, tables []*Table) error {
 	return nil
 }
 
+// JournalSummary describes a checkpoint journal's contents from the
+// outside: how much progress it holds and where that progress stopped.
+// The expfleet supervisor reads it for healthchecks (is the child's
+// journal growing?) and for quarantine diagnoses (what was the last
+// journaled point before the task died?).
+type JournalSummary struct {
+	// Points and Figures count the decodable records of each kind.
+	Points  int
+	Figures int
+	// LastFigure and LastIndex identify the most recently appended
+	// point record; LastFigure is "" when the journal holds no points.
+	LastFigure string
+	LastIndex  int
+	// Unknown counts records that did not gob-decode as checkpoint
+	// records (a newer writer's kinds, or foreign payloads).
+	Unknown int
+	// TornBytes reports trailing bytes discarded as a torn final
+	// append, exactly as checkpoint.Recovery does.
+	TornBytes int64
+}
+
+// SummarizeJournal replays the journal at path read-only and tallies
+// its records. Damage beyond a torn tail surfaces as the substrate's
+// typed corruption error (matching checkpoint.ErrCorrupt).
+func SummarizeJournal(path string) (JournalSummary, error) {
+	rec, err := checkpoint.Replay(path)
+	if err != nil {
+		return JournalSummary{}, err
+	}
+	sum := JournalSummary{TornBytes: rec.TornBytes}
+	for _, raw := range rec.Records {
+		var r ckptRecord
+		if err := gobDecode(raw, &r); err != nil {
+			sum.Unknown++
+			continue
+		}
+		switch r.Kind {
+		case "point":
+			sum.Points++
+			sum.LastFigure = r.Figure
+			sum.LastIndex = r.Index
+		case "figure":
+			sum.Figures++
+		default:
+			sum.Unknown++
+		}
+	}
+	return sum, nil
+}
+
+// CheckCheckpointDir verifies that a checkpoint directory is resumable
+// without opening it for writing: the manifest snapshot must load and
+// parse, and the journal must replay. It does not compare the manifest
+// against any configuration — that is OpenCheckpoint's job — so a
+// supervisor can triage "corrupt, wipe and restart fresh" apart from
+// "healthy, relaunch with -resume". A missing journal or manifest is an
+// error (the directory holds no usable checkpoint); corruption matches
+// checkpoint.ErrCorrupt.
+func CheckCheckpointDir(dir string) error {
+	payload, err := checkpoint.LoadSnapshot(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return err
+	}
+	var m manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return fmt.Errorf("exp: unreadable checkpoint manifest in %s: %v: %w", dir, err, checkpoint.ErrCorrupt)
+	}
+	if _, err := SummarizeJournal(filepath.Join(dir, JournalName)); err != nil {
+		return err
+	}
+	return nil
+}
+
 // Stats reports how much journaled progress this Checkpoint recovered
 // when it was opened.
 func (ck *Checkpoint) Stats() CheckpointStats {

@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"netconstant/internal/cancel"
+	"netconstant/internal/checkpoint"
+)
+
+// partialCheckpoint runs fig7 under Quick() until n points are
+// journaled, then cancels, leaving a resumable checkpoint dir behind.
+func partialCheckpoint(t *testing.T, n int64) (string, Config) {
+	t.Helper()
+	cfg := Quick()
+	cfg.Runs = 8
+	cfg.VMs = 8
+	cfg.SmallVMs = 4
+	dir := t.TempDir()
+
+	run := cfg
+	run.Workers = 1
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	run.Ctx = ctx
+	var done atomic.Int64
+	run.PointHook = func(string, int) {
+		if done.Add(1) == n {
+			stop()
+		}
+	}
+	ck, err := OpenCheckpoint(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Ckpt = ck
+	if _, err := Fig7Overall(run); !errors.Is(err, cancel.ErrCanceled) {
+		t.Fatalf("partial run: err = %v, want cancellation", err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, cfg
+}
+
+// TestSummarizeJournal: the summary must report the journaled point
+// count and locate the last appended point — this is what supervisor
+// healthchecks and quarantine diagnoses quote.
+func TestSummarizeJournal(t *testing.T) {
+	dir, _ := partialCheckpoint(t, 3)
+	sum, err := SummarizeJournal(filepath.Join(dir, JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Points < 3 {
+		t.Errorf("Points = %d, want ≥ 3", sum.Points)
+	}
+	if sum.LastFigure != "fig7" {
+		t.Errorf("LastFigure = %q, want fig7", sum.LastFigure)
+	}
+	if sum.Unknown != 0 || sum.TornBytes != 0 {
+		t.Errorf("clean journal reported Unknown=%d TornBytes=%d", sum.Unknown, sum.TornBytes)
+	}
+}
+
+// TestSummarizeJournalUnknownKind: records from a future writer must be
+// tallied as Unknown, not failed on — summaries are for triage.
+func TestSummarizeJournalUnknownKind(t *testing.T) {
+	dir, _ := partialCheckpoint(t, 2)
+	path := filepath.Join(dir, JournalName)
+	j, _, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := gobEncode(ckptRecord{Kind: "hologram", Figure: "fig99"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("not gob at all")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := SummarizeJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Unknown != 2 {
+		t.Errorf("Unknown = %d, want 2", sum.Unknown)
+	}
+	if sum.LastFigure != "fig7" {
+		t.Errorf("LastFigure = %q: unknown records must not displace the last point", sum.LastFigure)
+	}
+}
+
+// TestSummarizeJournalTornTail: a torn final append is tolerated and
+// reported, matching the substrate's recovery semantics.
+func TestSummarizeJournalTornTail(t *testing.T) {
+	dir, _ := partialCheckpoint(t, 3)
+	path := filepath.Join(dir, JournalName)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf[:len(buf)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := SummarizeJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TornBytes == 0 {
+		t.Error("TornBytes = 0 after truncating the final record")
+	}
+	if sum.Points < 2 {
+		t.Errorf("Points = %d, want the intact prefix's points", sum.Points)
+	}
+}
+
+// TestCheckCheckpointDir covers the supervisor's triage tree: healthy
+// dirs verify, missing pieces and corruption are errors, and corruption
+// matches checkpoint.ErrCorrupt.
+func TestCheckCheckpointDir(t *testing.T) {
+	dir, _ := partialCheckpoint(t, 3)
+	if err := CheckCheckpointDir(dir); err != nil {
+		t.Fatalf("healthy dir: %v", err)
+	}
+
+	t.Run("missing manifest", func(t *testing.T) {
+		d, _ := partialCheckpoint(t, 2)
+		if err := os.Remove(filepath.Join(d, ManifestName)); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckCheckpointDir(d); err == nil {
+			t.Error("missing manifest verified")
+		}
+	})
+	t.Run("missing journal", func(t *testing.T) {
+		d, _ := partialCheckpoint(t, 2)
+		if err := os.Remove(filepath.Join(d, JournalName)); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckCheckpointDir(d); err == nil {
+			t.Error("missing journal verified")
+		}
+	})
+	t.Run("corrupt manifest", func(t *testing.T) {
+		d, _ := partialCheckpoint(t, 2)
+		if err := os.WriteFile(filepath.Join(d, ManifestName), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := CheckCheckpointDir(d)
+		if !errors.Is(err, checkpoint.ErrCorrupt) {
+			t.Errorf("corrupt manifest: err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("corrupt journal body", func(t *testing.T) {
+		d, _ := partialCheckpoint(t, 3)
+		path := filepath.Join(d, JournalName)
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[len(buf)/2] ^= 0xff // mid-file damage, not a torn tail
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckCheckpointDir(d); !errors.Is(err, checkpoint.ErrCorrupt) {
+			t.Errorf("corrupt journal: err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("empty dir", func(t *testing.T) {
+		if err := CheckCheckpointDir(t.TempDir()); err == nil {
+			t.Error("empty dir verified")
+		}
+	})
+}

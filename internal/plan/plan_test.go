@@ -1,0 +1,198 @@
+package plan
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// validPlanJSON is a minimal plan that should parse and validate.
+const validPlanJSON = `{
+	"name": "smoke",
+	"seed": 7,
+	"tasks": [{"name": "a", "figures": ["fig7"]}]
+}`
+
+func TestParseValidPlanResolvesDefaults(t *testing.T) {
+	p, err := Parse([]byte(validPlanJSON))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.MaxProcs != 2 {
+		t.Errorf("MaxProcs default = %d, want 2", p.MaxProcs)
+	}
+	if p.Retry.MaxAttempts != 3 || p.Retry.BaseDelaySec != 0.5 || p.Retry.MaxDelaySec != 15 || p.Retry.JitterFrac != 0.2 {
+		t.Errorf("Retry defaults = %+v", p.Retry)
+	}
+	if p.StallTimeoutSec != 120 || p.PollIntervalSec != 0.25 {
+		t.Errorf("timeouts = %v / %v", p.StallTimeoutSec, p.PollIntervalSec)
+	}
+	if p.Tasks[0].Scale != ScaleQuick {
+		t.Errorf("scale default = %q, want %q", p.Tasks[0].Scale, ScaleQuick)
+	}
+}
+
+func TestParseRejectsUnknownField(t *testing.T) {
+	_, err := Parse([]byte(`{"name":"x","tasks":[{"name":"a","figures":["fig7"]}],"retrys":{}}`))
+	if !errors.Is(err, ErrInvalidPlan) {
+		t.Fatalf("unknown field: err = %v, want ErrInvalidPlan", err)
+	}
+	if !strings.Contains(err.Error(), "retrys") {
+		t.Errorf("error does not name the unknown field: %v", err)
+	}
+}
+
+// rejects asserts the plan fails validation with a *ValidationError on
+// the given field, wrapping ErrInvalidPlan.
+func rejects(t *testing.T, p *Plan, field string) {
+	t.Helper()
+	err := p.Validate()
+	if err == nil {
+		t.Fatalf("Validate accepted a plan that should fail on %s", field)
+	}
+	if !errors.Is(err, ErrInvalidPlan) {
+		t.Errorf("err = %v, want ErrInvalidPlan in chain", err)
+	}
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("err = %T, want *ValidationError", err)
+	}
+	if ve.Field != field {
+		t.Errorf("Field = %q, want %q (msg: %s)", ve.Field, field, ve.Msg)
+	}
+}
+
+func basePlan() *Plan {
+	return &Plan{Name: "p", Seed: 1, Tasks: []Task{{Name: "a", Figures: []string{"fig7"}}}}
+}
+
+func TestValidateRejections(t *testing.T) {
+	p := basePlan()
+	p.Name = "no/slashes"
+	rejects(t, p, "name")
+
+	p = basePlan()
+	p.Tasks[0].Figures = []string{"fig99"}
+	rejects(t, p, "tasks[0].figures")
+
+	p = basePlan()
+	p.Tasks[0].Scale = "medium"
+	rejects(t, p, "tasks[0].scale")
+
+	p = basePlan()
+	p.Tasks = append(p.Tasks, Task{Name: "a", Figures: []string{"fig7"}})
+	rejects(t, p, "tasks[1].name")
+
+	p = basePlan()
+	p.Tasks[0].Extra = []string{"-seed", "9"}
+	rejects(t, p, "tasks[0].extra")
+
+	p = basePlan()
+	p.Tasks[0].Extra = []string{"-resume=/tmp/x"}
+	rejects(t, p, "tasks[0].extra")
+
+	p = basePlan()
+	p.Sabotage = []Sabotage{{Kind: "melt-cpu", Task: "a"}}
+	rejects(t, p, "sabotage[0].kind")
+
+	p = basePlan()
+	p.Sabotage = []Sabotage{{Kind: SabotageKill, Task: "ghost"}}
+	rejects(t, p, "sabotage[0].task")
+
+	p = basePlan()
+	p.Retry = Retry{MaxAttempts: 1, BaseDelaySec: 5, MaxDelaySec: 1}
+	rejects(t, p, "retry.max_delay_sec")
+
+	p = basePlan()
+	p.Tasks[0].Workers = -1
+	rejects(t, p, "tasks[0].workers")
+}
+
+func TestUnknownFigureErrorListsValidNames(t *testing.T) {
+	p := basePlan()
+	p.Tasks[0].Figures = []string{"fig99"}
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "fig7") {
+		t.Errorf("error should enumerate valid figures, got: %v", err)
+	}
+}
+
+func TestMatrixExpansionDeterministic(t *testing.T) {
+	p := &Plan{Name: "m", Seed: 3, Matrix: &Matrix{
+		Figures: [][]string{{"fig7"}, {"fig8", "fig12"}},
+		Seeds:   []int64{1, 2},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(p.Tasks) != 4 {
+		t.Fatalf("expanded %d tasks, want 4", len(p.Tasks))
+	}
+	wantNames := []string{
+		"m0-fig7-quick-s1-w0", "m1-fig7-quick-s2-w0",
+		"m2-fig8.fig12-quick-s1-w0", "m3-fig8.fig12-quick-s2-w0",
+	}
+	for i, w := range wantNames {
+		if p.Tasks[i].Name != w {
+			t.Errorf("task[%d] = %q, want %q", i, p.Tasks[i].Name, w)
+		}
+	}
+	if p.Matrix != nil {
+		t.Error("Matrix should be consumed by expansion")
+	}
+}
+
+func TestBackoffDeterministicCappedAndGrowing(t *testing.T) {
+	p := basePlan()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Retry = Retry{MaxAttempts: 10, BaseDelaySec: 0.5, MaxDelaySec: 4, JitterFrac: 0.2}
+	d2 := p.backoff("a", 2)
+	if d2 != p.backoff("a", 2) {
+		t.Error("backoff is not deterministic for identical inputs")
+	}
+	if d2 == p.backoff("b", 2) {
+		t.Error("jitter should differ across task names")
+	}
+	// ±10% jitter around 0.5s for attempt 2.
+	if d2 < time.Duration(0.45*float64(time.Second)) || d2 > time.Duration(0.55*float64(time.Second)) {
+		t.Errorf("attempt-2 backoff = %v, want ~0.5s ±10%%", d2)
+	}
+	// Far attempts are capped at MaxDelay (plus jitter headroom).
+	d9 := p.backoff("a", 9)
+	if d9 > time.Duration(4*1.1*float64(time.Second)) {
+		t.Errorf("attempt-9 backoff = %v, exceeds jittered cap", d9)
+	}
+	if d9 < time.Duration(4*0.9*float64(time.Second)) {
+		t.Errorf("attempt-9 backoff = %v, below jittered cap floor", d9)
+	}
+}
+
+func TestJitterURange(t *testing.T) {
+	for attempt := 2; attempt < 200; attempt++ {
+		u := jitterU(42, "task", attempt)
+		if u < 0 || u >= 1 {
+			t.Fatalf("jitterU out of [0,1): %v", u)
+		}
+	}
+}
+
+func TestCleanStripsSabotage(t *testing.T) {
+	p := basePlan()
+	p.Sabotage = []Sabotage{{Kind: SabotageKill, Task: "a", Attempt: 1}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clean()
+	if len(c.Sabotage) != 0 {
+		t.Error("Clean left sabotage ops behind")
+	}
+	if len(p.Sabotage) != 1 {
+		t.Error("Clean mutated the original plan")
+	}
+	if len(c.Tasks) != len(p.Tasks) {
+		t.Error("Clean dropped tasks")
+	}
+}

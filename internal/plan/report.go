@@ -1,0 +1,141 @@
+package plan
+
+// The end-of-campaign report. Two artifacts with two contracts:
+//
+//   - Report (fleet.json, Render) carries the full operational story —
+//     outcome, attempts, stalls, resume counts, wall time, quarantine
+//     diagnoses. Its *rendering* is byte-deterministic in the data
+//     (plan order, fixed formatting, no map iteration), but the data
+//     itself legitimately differs between a disturbed and an
+//     undisturbed campaign (a resumed task has more attempts).
+//   - DeterministicResults (fleet-results.json) is the projection that
+//     must be byte-identical between a sabotaged campaign that
+//     recovered and its clean twin: per-task outcome plus the child's
+//     own results.json bytes, which expdriver's resume contract
+//     guarantees are byte-identical however often the task crashed.
+//     CI's fleet-resume-gate diffs exactly this file.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Diagnosis is the minimal triage attached to a quarantined task.
+type Diagnosis struct {
+	// ExitStatus describes how the final attempt died ("exit status 1",
+	// "killed by signal", "stalled: no journal progress").
+	ExitStatus string `json:"exit_status"`
+	// JournaledPoints, LastFigure and LastIndex locate the last sweep
+	// point that reached the task's journal before death.
+	JournaledPoints int    `json:"journaled_points"`
+	LastFigure      string `json:"last_figure,omitempty"`
+	LastIndex       int    `json:"last_index,omitempty"`
+	// StderrTail is the last few KB of the child's stderr.
+	StderrTail string `json:"stderr_tail,omitempty"`
+}
+
+// TaskReport is one task's row in the campaign report.
+type TaskReport struct {
+	Name    string `json:"name"`
+	Outcome string `json:"outcome"` // ok | quarantined | interrupted | skipped
+	// Attempts counts launches (1 = succeeded first try). Stalls counts
+	// attempts the supervisor killed for journal stagnation. Resumes
+	// counts launches that started with -resume; ResumedPoints is how
+	// many journaled sweep points the last resume replayed.
+	Attempts      int `json:"attempts"`
+	Stalls        int `json:"stalls,omitempty"`
+	Resumes       int `json:"resumes,omitempty"`
+	ResumedPoints int `json:"resumed_points,omitempty"`
+	// ExitCode is the final attempt's (-1 for signal death).
+	ExitCode    int        `json:"exit_code"`
+	WallSeconds float64    `json:"wall_seconds"`
+	Diagnosis   *Diagnosis `json:"diagnosis,omitempty"`
+}
+
+// Report is the aggregated campaign outcome, tasks in plan order.
+type Report struct {
+	Campaign string       `json:"campaign"`
+	Seed     int64        `json:"seed"`
+	Tasks    []TaskReport `json:"tasks"`
+}
+
+// Counts tallies outcomes.
+func (r *Report) Counts() (ok, quarantined, interrupted, skipped int) {
+	for _, t := range r.Tasks {
+		switch t.Outcome {
+		case OutcomeOK:
+			ok++
+		case OutcomeQuarantined:
+			quarantined++
+		case OutcomeInterrupted:
+			interrupted++
+		case OutcomeSkipped:
+			skipped++
+		}
+	}
+	return
+}
+
+// MarshalIndent renders the report as indented JSON with a trailing
+// newline (the fleet.json artifact).
+func (r *Report) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Render writes the human-readable campaign summary: one fixed-width
+// row per task in plan order, then the outcome tally. Identical report
+// data renders to identical bytes.
+func (r *Report) Render() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "campaign %s (seed %d): %d tasks\n", r.Campaign, r.Seed, len(r.Tasks))
+	fmt.Fprintf(&b, "%-24s %-12s %8s %7s %8s %8s %10s\n",
+		"task", "outcome", "attempts", "stalls", "resumes", "points", "wall")
+	for _, t := range r.Tasks {
+		fmt.Fprintf(&b, "%-24s %-12s %8d %7d %8d %8d %9.1fs\n",
+			t.Name, t.Outcome, t.Attempts, t.Stalls, t.Resumes, t.ResumedPoints, t.WallSeconds)
+		if t.Diagnosis != nil {
+			fmt.Fprintf(&b, "    quarantine: %s", t.Diagnosis.ExitStatus)
+			if t.Diagnosis.LastFigure != "" {
+				fmt.Fprintf(&b, "; last journaled point %s[%d] (%d points total)",
+					t.Diagnosis.LastFigure, t.Diagnosis.LastIndex, t.Diagnosis.JournaledPoints)
+			}
+			b.WriteString("\n")
+		}
+	}
+	ok, q, intr, skip := r.Counts()
+	fmt.Fprintf(&b, "outcome: %d ok, %d quarantined, %d interrupted, %d skipped\n", ok, q, intr, skip)
+	return b.String()
+}
+
+// DeterministicResults assembles the byte-stable aggregate: JSON lines
+// with one {"task","outcome"} header per task in plan order, each "ok"
+// task followed by the verbatim contents of its results.json. Attempts,
+// timings and diagnoses are deliberately absent — a campaign that was
+// killed, stalled and resumed must produce the same bytes as one that
+// ran undisturbed.
+func (r *Report) DeterministicResults(s *Supervisor) ([]byte, error) {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "{\"campaign\":%q,\"seed\":%d}\n", r.Campaign, r.Seed)
+	for _, t := range r.Tasks {
+		fmt.Fprintf(&b, "{\"task\":%q,\"outcome\":%q}\n", t.Name, t.Outcome)
+		if t.Outcome != OutcomeOK {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.TaskDir(t.Name), "results.json"))
+		if err != nil {
+			return nil, fmt.Errorf("plan: task %s reported ok but has no results: %w", t.Name, err)
+		}
+		b.Write(data)
+		if len(data) > 0 && data[len(data)-1] != '\n' {
+			b.WriteByte('\n')
+		}
+	}
+	return b.Bytes(), nil
+}

@@ -1,0 +1,455 @@
+package plan
+
+// The supervisor: each task fans out as a child expdriver process with
+// its own checkpoint journal in a per-task directory. Robustness lives
+// here, not in the children:
+//
+//   - healthchecks watch journal *progress* (file growth), not mere
+//     process liveness — a wedged child that is alive but journaling
+//     nothing is stalled, killed, and relaunched;
+//   - a dead task relaunches with -resume under capped exponential
+//     backoff with seeded deterministic jitter; a checkpoint directory
+//     that no longer verifies (corrupt manifest or journal) is wiped so
+//     the relaunch restarts the task from scratch instead of dying on
+//     the same corruption forever;
+//   - continue-on-failure: a task that exhausts its attempts (or fails
+//     with a usage error, which no retry can fix) is quarantined with a
+//     minimal diagnosis — exit status, last journaled point, stderr
+//     tail — while the rest of the campaign completes;
+//   - a canceled context drains two-stage: children get SIGTERM (they
+//     drain in-flight sweep points and journal), queued tasks are
+//     skipped; Force() escalates to SIGKILL.
+//
+// No wall clock is read here directly — the Now field injects it (the
+// netlint determinism analyzer holds this package to the same standard
+// as internal/exp), and all randomness derives from the plan seed.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"netconstant/internal/cli"
+	"netconstant/internal/exp"
+)
+
+// Task outcomes as they appear in reports.
+const (
+	OutcomeOK          = "ok"          // completed, results on disk
+	OutcomeQuarantined = "quarantined" // permanently failed; diagnosis attached
+	OutcomeInterrupted = "interrupted" // drained mid-run; journal is resumable
+	OutcomeSkipped     = "skipped"     // never launched (campaign drained first)
+)
+
+// Supervisor executes a validated plan. Zero-value fields other than
+// the four below are internal.
+type Supervisor struct {
+	Plan   *Plan
+	Driver string // path to the expdriver binary
+	Dir    string // campaign directory (created if missing)
+	// Log receives human-readable supervision events (launches, stalls,
+	// retries, quarantines). Nil discards them.
+	Log io.Writer
+	// Now supplies wall-clock readings for stall detection and wall-time
+	// accounting. Required (cmd/expfleet injects time.Now).
+	Now func() time.Time
+
+	forceMu sync.Mutex
+	force   chan struct{}
+}
+
+// TaskDir returns the directory of one task inside the campaign dir.
+func (s *Supervisor) TaskDir(task string) string {
+	return filepath.Join(s.Dir, "tasks", task)
+}
+
+// Force escalates a drain: every currently running child is SIGKILLed.
+// Safe to call at any time, from any goroutine, at most once effective.
+func (s *Supervisor) Force() {
+	s.forceMu.Lock()
+	defer s.forceMu.Unlock()
+	if s.force == nil {
+		s.force = make(chan struct{})
+	}
+	select {
+	case <-s.force:
+	default:
+		close(s.force)
+	}
+}
+
+// forceCh returns the (lazily created) force channel.
+func (s *Supervisor) forceCh() chan struct{} {
+	s.forceMu.Lock()
+	defer s.forceMu.Unlock()
+	if s.force == nil {
+		s.force = make(chan struct{})
+	}
+	return s.force
+}
+
+func (s *Supervisor) logf(format string, args ...any) {
+	if s.Log != nil {
+		fmt.Fprintf(s.Log, "expfleet: "+format+"\n", args...)
+	}
+}
+
+// Run executes the campaign: tasks launch in plan order, at most
+// Plan.MaxProcs children at a time, each supervised independently. Run
+// returns a complete report even when tasks were quarantined or the
+// context drained the campaign — the error is non-nil only for
+// campaign-level failures (unusable driver, unwritable directory).
+func (s *Supervisor) Run(ctx context.Context) (*Report, error) {
+	if s.Now == nil {
+		return nil, errors.New("plan: Supervisor.Now is required (inject time.Now)")
+	}
+	if s.Plan == nil || len(s.Plan.Tasks) == 0 {
+		return nil, errors.New("plan: Supervisor.Plan is empty (did Validate run?)")
+	}
+	driver, err := exec.LookPath(s.Driver)
+	if err != nil {
+		return nil, fmt.Errorf("plan: driver %q not executable: %w", s.Driver, err)
+	}
+	if err := os.MkdirAll(filepath.Join(s.Dir, "tasks"), 0o755); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Campaign: s.Plan.Name, Seed: s.Plan.Seed,
+		Tasks: make([]TaskReport, len(s.Plan.Tasks))}
+	sem := make(chan struct{}, s.Plan.MaxProcs)
+	var wg sync.WaitGroup
+	// Admission happens here, in plan order: a task's goroutine only
+	// spawns once it holds a slot, so earlier tasks always launch first
+	// and a drained campaign skips exactly the not-yet-admitted suffix.
+	for i := range s.Plan.Tasks {
+		task := s.Plan.Tasks[i]
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			rep.Tasks[i] = TaskReport{Name: task.Name, Outcome: OutcomeSkipped}
+			continue
+		}
+		if ctx.Err() != nil { // won the slot racing a concurrent cancel
+			<-sem
+			rep.Tasks[i] = TaskReport{Name: task.Name, Outcome: OutcomeSkipped}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, task Task) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// Index-addressed slot: report order is plan order no matter
+			// how scheduling interleaves the workers.
+			rep.Tasks[i] = s.superviseTask(ctx, driver, task)
+		}(i, task)
+	}
+	wg.Wait()
+	return rep, nil
+}
+
+// attemptResult is what one child launch produced.
+type attemptResult struct {
+	exitCode int  // -1 when killed by a signal
+	signaled bool // died on a signal (SIGKILL from a stall or sabotage)
+	stalled  bool // the supervisor killed it for journal stagnation
+	drained  bool // the campaign context was canceled during the attempt
+	waitErr  error
+}
+
+// superviseTask owns one task end to end: launch, healthcheck, retry
+// with backoff, quarantine. It returns the task's final report row.
+func (s *Supervisor) superviseTask(ctx context.Context, driver string, task Task) TaskReport {
+	tr := TaskReport{Name: task.Name}
+	dir := s.TaskDir(task.Name)
+	ckptDir := filepath.Join(dir, "ckpt")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		tr.Outcome = OutcomeQuarantined
+		tr.Diagnosis = &Diagnosis{ExitStatus: "task directory: " + err.Error()}
+		return tr
+	}
+	stderrTail := &tailBuffer{max: 4096}
+	start := s.Now()
+
+	var lastRes attemptResult
+	for attempt := 1; attempt <= s.Plan.Retry.MaxAttempts; attempt++ {
+		tr.Attempts = attempt
+		if attempt > 1 {
+			d := s.Plan.backoff(task.Name, attempt)
+			s.logf("%s: retrying in %.2fs (attempt %d/%d)", task.Name, d.Seconds(), attempt, s.Plan.Retry.MaxAttempts)
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				tr.Outcome = OutcomeInterrupted
+				tr.WallSeconds = s.Now().Sub(start).Seconds()
+				return tr
+			}
+		}
+
+		// Sabotage: corrupt-manifest fires before the matching attempt
+		// launches, damaging the manifest on disk.
+		if s.sabotageFor(task.Name, attempt, SabotageCorruptManifest) != nil {
+			s.logf("%s: sabotage corrupt-manifest before attempt %d", task.Name, attempt)
+			if err := os.MkdirAll(ckptDir, 0o755); err == nil {
+				// Deliberately not atomic and not CRC-sealed: this is the
+				// damage, not a write the substrate should survive intact.
+				os.WriteFile(filepath.Join(ckptDir, exp.ManifestName), []byte("sabotaged manifest"), 0o644)
+			}
+		}
+
+		// Resume when the checkpoint verifies; wipe and restart fresh
+		// when the directory exists but does not verify (corrupt manifest
+		// or journal, or a crash before the first append) — relaunching
+		// against it would fail identically forever.
+		resume := false
+		if _, err := os.Stat(ckptDir); err == nil {
+			if cerr := exp.CheckCheckpointDir(ckptDir); cerr == nil {
+				resume = true
+				tr.Resumes++
+				if sum, err := exp.SummarizeJournal(filepath.Join(ckptDir, exp.JournalName)); err == nil {
+					tr.ResumedPoints = sum.Points
+				}
+			} else {
+				s.logf("%s: checkpoint unusable (%v) — wiping for a fresh start", task.Name, cerr)
+				if err := os.RemoveAll(ckptDir); err != nil {
+					tr.Outcome = OutcomeQuarantined
+					tr.Diagnosis = &Diagnosis{ExitStatus: "wiping corrupt checkpoint: " + err.Error()}
+					tr.WallSeconds = s.Now().Sub(start).Seconds()
+					return tr
+				}
+			}
+		}
+
+		res := s.runAttempt(ctx, driver, task, attempt, dir, ckptDir, resume, stderrTail)
+		lastRes = res
+		tr.ExitCode = res.exitCode
+		if res.stalled {
+			tr.Stalls++
+		}
+		switch {
+		case res.exitCode == cli.ExitOK:
+			tr.Outcome = OutcomeOK
+			tr.WallSeconds = s.Now().Sub(start).Seconds()
+			return tr
+		case res.drained:
+			tr.Outcome = OutcomeInterrupted
+			tr.WallSeconds = s.Now().Sub(start).Seconds()
+			return tr
+		case res.exitCode == cli.ExitUsage:
+			// A usage error is deterministic: relaunching the identical
+			// command line cannot succeed. Quarantine immediately.
+			s.logf("%s: usage error (exit 2) — quarantining without retry", task.Name)
+			tr.Outcome = OutcomeQuarantined
+			tr.Diagnosis = s.diagnose(res, ckptDir, stderrTail)
+			tr.WallSeconds = s.Now().Sub(start).Seconds()
+			return tr
+		default:
+			s.logf("%s: attempt %d/%d failed (%s)", task.Name, attempt, s.Plan.Retry.MaxAttempts, res.status())
+		}
+	}
+	tr.Outcome = OutcomeQuarantined
+	tr.Diagnosis = s.diagnose(lastRes, ckptDir, stderrTail)
+	tr.WallSeconds = s.Now().Sub(start).Seconds()
+	s.logf("%s: quarantined after %d attempts (%s)", task.Name, tr.Attempts, tr.Diagnosis.ExitStatus)
+	return tr
+}
+
+// status renders an attempt outcome for the log.
+func (r attemptResult) status() string {
+	switch {
+	case r.stalled:
+		return "stalled: no journal progress"
+	case r.signaled:
+		return "killed by signal"
+	case r.waitErr != nil && r.exitCode < 0:
+		return r.waitErr.Error()
+	default:
+		return "exit status " + strconv.Itoa(r.exitCode)
+	}
+}
+
+// diagnose assembles the quarantine diagnosis: exit status, the last
+// journaled point, and the stderr tail.
+func (s *Supervisor) diagnose(res attemptResult, ckptDir string, tail *tailBuffer) *Diagnosis {
+	d := &Diagnosis{ExitStatus: res.status(), StderrTail: tail.String()}
+	if sum, err := exp.SummarizeJournal(filepath.Join(ckptDir, exp.JournalName)); err == nil {
+		d.JournaledPoints = sum.Points
+		d.LastFigure = sum.LastFigure
+		d.LastIndex = sum.LastIndex
+	}
+	return d
+}
+
+// argv builds the child command line for one attempt.
+func (s *Supervisor) argv(task Task, attempt int, dir, ckptDir string, resume bool) []string {
+	args := []string{
+		"-only", joinFigures(task.Figures),
+		"-seed", strconv.FormatInt(task.seed(s.Plan.Seed), 10),
+		"-json", filepath.Join(dir, "results.json"),
+		"-md", filepath.Join(dir, "report.md"),
+	}
+	if task.Scale == ScaleFull {
+		args = append(args, "-full")
+	}
+	if task.Workers > 0 {
+		args = append(args, "-workers", strconv.Itoa(task.Workers))
+	}
+	if resume {
+		args = append(args, "-resume", ckptDir)
+	} else {
+		args = append(args, "-ckpt", ckptDir)
+	}
+	// Kill/stall sabotage rides the driver's deterministic testing aids,
+	// so the damage lands after an exact number of journaled points.
+	if sb := s.sabotageFor(task.Name, attempt, SabotageKill); sb != nil {
+		args = append(args, "-crashafter", strconv.Itoa(sb.AfterPoints))
+	}
+	if sb := s.sabotageFor(task.Name, attempt, SabotageStall); sb != nil {
+		args = append(args, "-stallafter", strconv.Itoa(sb.AfterPoints))
+	}
+	return append(args, task.Extra...)
+}
+
+// sabotageFor finds the plan's sabotage op matching (task, attempt,
+// kind), or nil.
+func (s *Supervisor) sabotageFor(task string, attempt int, kind string) *Sabotage {
+	for i := range s.Plan.Sabotage {
+		sb := &s.Plan.Sabotage[i]
+		if sb.Kind == kind && sb.Task == task && sb.Attempt == attempt {
+			return sb
+		}
+	}
+	return nil
+}
+
+// runAttempt launches one child and supervises it to exit: journal-
+// progress healthchecks, stall kill, two-stage drain.
+func (s *Supervisor) runAttempt(ctx context.Context, driver string, task Task, attempt int, dir, ckptDir string, resume bool, tail *tailBuffer) attemptResult {
+	logPath := filepath.Join(dir, "stderr.log")
+	logF, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return attemptResult{exitCode: -1, waitErr: err}
+	}
+	defer logF.Close()
+	fmt.Fprintf(logF, "--- attempt %d ---\n", attempt)
+
+	cmd := exec.Command(driver, s.argv(task, attempt, dir, ckptDir, resume)...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.MultiWriter(logF, tail)
+	// Bound the pipe drain after the child dies: an orphaned grandchild
+	// holding the inherited stderr fd must not wedge the supervisor.
+	cmd.WaitDelay = time.Second
+	if err := cmd.Start(); err != nil {
+		return attemptResult{exitCode: -1, waitErr: err}
+	}
+	mode := "fresh"
+	if resume {
+		mode = "resume"
+	}
+	s.logf("%s: attempt %d launched (%s, pid %d)", task.Name, attempt, mode, cmd.Process.Pid)
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	journal := filepath.Join(ckptDir, exp.JournalName)
+	lastSize := journalSize(journal)
+	lastProgress := s.Now()
+	stallAfter := time.Duration(s.Plan.StallTimeoutSec * float64(time.Second))
+	poll := time.NewTicker(time.Duration(s.Plan.PollIntervalSec * float64(time.Second)))
+	defer poll.Stop()
+
+	var res attemptResult
+	drainCh := ctx.Done()
+	for {
+		select {
+		case werr := <-done:
+			res.waitErr = werr
+			res.exitCode = cmd.ProcessState.ExitCode()
+			if ws, ok := cmd.ProcessState.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+				res.signaled = true
+			}
+			return res
+		case <-poll.C:
+			if size := journalSize(journal); size != lastSize {
+				lastSize = size
+				lastProgress = s.Now()
+			} else if s.Now().Sub(lastProgress) > stallAfter {
+				// Alive but journaling nothing: stalled. SIGKILL works on
+				// stopped processes too, so a SIGSTOP-wedged child dies.
+				s.logf("%s: stalled (no journal progress for %.1fs) — killing pid %d",
+					task.Name, s.Now().Sub(lastProgress).Seconds(), cmd.Process.Pid)
+				res.stalled = true
+				cmd.Process.Kill()
+			}
+		case <-drainCh:
+			// Stage one: forward a graceful SIGTERM; the child drains
+			// in-flight sweep points, journals, and exits 130.
+			s.logf("%s: draining — SIGTERM to pid %d", task.Name, cmd.Process.Pid)
+			res.drained = true
+			cmd.Process.Signal(syscall.SIGTERM)
+			drainCh = nil // signal once; keep supervising until exit
+		case <-s.forceCh():
+			s.logf("%s: force quit — SIGKILL to pid %d", task.Name, cmd.Process.Pid)
+			res.drained = true
+			cmd.Process.Kill()
+			werr := <-done
+			res.waitErr = werr
+			res.exitCode = cmd.ProcessState.ExitCode()
+			res.signaled = true
+			return res
+		}
+	}
+}
+
+// journalSize returns the journal's current byte size (0 when absent).
+func journalSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// joinFigures renders a figure list for -only.
+func joinFigures(figs []string) string {
+	out := ""
+	for i, f := range figs {
+		if i > 0 {
+			out += ","
+		}
+		out += f
+	}
+	return out
+}
+
+// tailBuffer keeps the last max bytes written to it; safe for
+// concurrent use (the child's stderr pipe writes from another
+// goroutine than the reader).
+type tailBuffer struct {
+	mu  sync.Mutex
+	max int
+	buf []byte
+}
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.max {
+		t.buf = append(t.buf[:0:0], t.buf[len(t.buf)-t.max:]...)
+	}
+	return len(p), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
+}
