@@ -1,0 +1,314 @@
+// Command streambench benchmarks the streaming RPCA path on a synthetic
+// pair-measurement trace and writes the results as BENCH_stream.json.
+//
+// The trace is a rows×pairs temporal performance matrix (default 196
+// pairs, the paper's 14²-link cluster scale). A seed prefix plays the
+// role of the initial full calibration; the remaining columns arrive one
+// at a time, as pair measurements do. Two costs are compared per epoch
+// (= one arriving column):
+//
+//   - streaming: StreamingSolver.AppendColumn — fast-tier projection,
+//     subspace tracking, and a warm partial re-solve every -resolveevery
+//     columns;
+//   - baseline: what the batch pipeline would do — a cold full IALM
+//     re-decomposition of the matrix-so-far on every epoch.
+//
+// The JSON report records per-column update latency (mean/p50/p99/max),
+// both totals, the speedup, SVT route statistics, and the worst
+// streaming-vs-batch agreement across -checks differential-oracle
+// checkpoints (run untimed, on a separate identically seeded pass, so
+// verification never pollutes the timings).
+//
+// With -gate the bench exits nonzero when the worst agreement exceeds
+// -tol (default 1e-10, the repo's acceptance bound) — the CI stream gate.
+//
+// Usage:
+//
+//	streambench [-rows 24] [-pairs 196] [-seedcols 98] [-rank 3]
+//	            [-spike 0.05] [-resolveevery 16] [-checks 4] [-reps 3]
+//	            [-tol 1e-10] [-gate] [-o BENCH_stream.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"netconstant/internal/cli"
+	"netconstant/internal/mat"
+	"netconstant/internal/rpca"
+)
+
+type config struct {
+	rows, pairs  int
+	seedCols     int
+	rank         int
+	spike        float64
+	resolveEvery int
+	checks       int
+	reps         int
+	tol          float64
+	gate         bool
+	out          string
+}
+
+type latencyStats struct {
+	MeanMicros float64 `json:"mean_us"`
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+	MaxMicros  float64 `json:"max_us"`
+}
+
+type agreementStats struct {
+	Checks        int     `json:"checks"`
+	WorstRelFroD  float64 `json:"worst_rel_fro_d"`
+	WorstRelFroE  float64 `json:"worst_rel_fro_e"`
+	WorstConstant float64 `json:"worst_constant_rel"`
+	StreamIters   int     `json:"stream_iters_last"`
+	BatchIters    int     `json:"batch_iters_last"`
+}
+
+type report struct {
+	Rows         int     `json:"rows"`
+	Pairs        int     `json:"pairs"`
+	SeedCols     int     `json:"seed_cols"`
+	PlantedRank  int     `json:"planted_rank"`
+	SpikeFrac    float64 `json:"spike_frac"`
+	ResolveEvery int     `json:"resolve_every"`
+	Reps         int     `json:"reps"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+
+	PerColumn      latencyStats   `json:"per_column"`
+	StreamSeconds  float64        `json:"stream_seconds"` // best-of-reps, whole tail
+	EpochSeconds   float64        `json:"epoch_seconds"`  // best-of-reps, cold re-decomposition per epoch
+	Speedup        float64        `json:"speedup"`        // epoch / stream
+	Resolves       int            `json:"resolves"`
+	Tracked        int            `json:"tracked"`
+	FullSVDs       int            `json:"full_svds"`
+	TruncSVDs      int            `json:"truncated_svds"`
+	BaselineSolves int            `json:"baseline_solves"`
+	Agreement      agreementStats `json:"agreement"`
+}
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.rows, "rows", 24, "TP-matrix rows (time steps; >= 16 exercises the truncated SVT route)")
+	flag.IntVar(&cfg.pairs, "pairs", 196, "total pair-measurement columns in the trace")
+	flag.IntVar(&cfg.seedCols, "seedcols", 0, "seed-calibration prefix (0 = pairs/2)")
+	flag.IntVar(&cfg.rank, "rank", 3, "planted rank of the constant component")
+	flag.Float64Var(&cfg.spike, "spike", 0.05, "fraction of sparse spikes")
+	flag.IntVar(&cfg.resolveEvery, "resolveevery", 16, "warm partial re-solve cadence (columns)")
+	flag.IntVar(&cfg.checks, "checks", 4, "differential-oracle checkpoints over the tail")
+	flag.IntVar(&cfg.reps, "reps", 3, "timing repetitions (best kept)")
+	flag.Float64Var(&cfg.tol, "tol", 1e-10, "agreement acceptance bound")
+	flag.BoolVar(&cfg.gate, "gate", false, "exit nonzero when agreement exceeds -tol")
+	flag.StringVar(&cfg.out, "o", "BENCH_stream.json", "output JSON path")
+	flag.Parse()
+	if cfg.seedCols <= 0 || cfg.seedCols >= cfg.pairs {
+		cfg.seedCols = cfg.pairs / 2
+	}
+
+	a := syntheticTP(rand.New(rand.NewSource(1)), cfg.rows, cfg.pairs, cfg.rank, cfg.spike)
+	cols := toColumns(a)
+	rep := report{
+		Rows: cfg.rows, Pairs: cfg.pairs, SeedCols: cfg.seedCols,
+		PlantedRank: cfg.rank, SpikeFrac: cfg.spike, ResolveEvery: cfg.resolveEvery,
+		Reps: cfg.reps, GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// Timed streaming passes: seed untimed, tail timed per column.
+	bestStream := math.Inf(1)
+	var bestLats []float64
+	for r := 0; r < cfg.reps; r++ {
+		s := newStream(cfg)
+		must(s.Seed(columnPrefix(a, cfg.seedCols)))
+		lats := make([]float64, 0, cfg.pairs-cfg.seedCols)
+		start := time.Now()
+		for j := cfg.seedCols; j < cfg.pairs; j++ {
+			t0 := time.Now()
+			must(s.AppendColumn(cols[j]))
+			lats = append(lats, time.Since(t0).Seconds())
+		}
+		total := time.Since(start).Seconds()
+		if total < bestStream {
+			bestStream, bestLats = total, lats
+		}
+		if r == 0 {
+			st := s.Stats()
+			rep.Resolves, rep.Tracked = st.Resolves, st.Tracked
+			rep.FullSVDs, rep.TruncSVDs = st.FullSVDs, st.TruncSVDs
+		}
+	}
+	rep.StreamSeconds = bestStream
+	rep.PerColumn = summarizeLatencies(bestLats)
+
+	// Timed baseline passes: a cold full IALM re-decomposition of the
+	// matrix-so-far on every epoch — the cost streaming replaces.
+	bestEpoch := math.Inf(1)
+	for r := 0; r < cfg.reps; r++ {
+		start := time.Now()
+		solves := 0
+		for j := cfg.seedCols + 1; j <= cfg.pairs; j++ {
+			_, err := rpca.NewSolver().DecomposeIALM(columnPrefix(a, j), rpca.IALMOptions{})
+			must(err)
+			solves++
+		}
+		total := time.Since(start).Seconds()
+		if total < bestEpoch {
+			bestEpoch = total
+		}
+		rep.BaselineSolves = solves
+	}
+	rep.EpochSeconds = bestEpoch
+	rep.Speedup = bestEpoch / bestStream
+
+	// Untimed verification pass: same trace, differential-oracle checks at
+	// evenly spaced checkpoints plus the final column.
+	rep.Agreement = verifyPass(cfg, a, cols)
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	must(err)
+	buf = append(buf, '\n')
+	must(os.WriteFile(cfg.out, buf, 0o644))
+	fmt.Printf("streambench: %dx%d (seed %d) stream=%.3fs epoch=%.3fs speedup=%.1fx per-col p50=%.0fus p99=%.0fus agreement=%.2e\n",
+		cfg.rows, cfg.pairs, cfg.seedCols, rep.StreamSeconds, rep.EpochSeconds, rep.Speedup,
+		rep.PerColumn.P50Micros, rep.PerColumn.P99Micros, worstOf(rep.Agreement))
+	fmt.Printf("streambench: wrote %s\n", cfg.out)
+
+	if cfg.gate && worstOf(rep.Agreement) > cfg.tol {
+		fmt.Fprintf(os.Stderr, "streambench: GATE FAIL — agreement %.3e exceeds %.0e\n",
+			worstOf(rep.Agreement), cfg.tol)
+		os.Exit(cli.ExitFailure)
+	}
+}
+
+func newStream(cfg config) *rpca.StreamingSolver {
+	s, err := rpca.NewStreamingSolver(cfg.rows, rpca.StreamOptions{
+		ResolveEvery: cfg.resolveEvery,
+	})
+	must(err)
+	return s
+}
+
+// verifyPass replays the trace on a fresh solver, running the
+// differential oracle at cfg.checks evenly spaced points and at the end.
+func verifyPass(cfg config, a *mat.Dense, cols [][]float64) agreementStats {
+	s := newStream(cfg)
+	must(s.Seed(columnPrefix(a, cfg.seedCols)))
+	tail := cfg.pairs - cfg.seedCols
+	every := tail
+	if cfg.checks > 0 {
+		every = max(1, tail/cfg.checks)
+	}
+	ag := agreementStats{}
+	check := func() {
+		v, err := s.Verify()
+		must(err)
+		if math.IsNaN(v.RelFroD) || math.IsNaN(v.RelFroE) || math.IsNaN(v.ConstantRel) {
+			must(fmt.Errorf("NaN agreement at check %d — a solver produced non-finite entries", ag.Checks))
+		}
+		ag.Checks++
+		ag.WorstRelFroD = math.Max(ag.WorstRelFroD, v.RelFroD)
+		ag.WorstRelFroE = math.Max(ag.WorstRelFroE, v.RelFroE)
+		ag.WorstConstant = math.Max(ag.WorstConstant, v.ConstantRel)
+		ag.StreamIters, ag.BatchIters = v.StreamIters, v.BatchIters
+	}
+	for j := cfg.seedCols; j < cfg.pairs; j++ {
+		must(s.AppendColumn(cols[j]))
+		if done := j - cfg.seedCols + 1; done%every == 0 && done != tail {
+			check()
+		}
+	}
+	check()
+	return ag
+}
+
+func worstOf(ag agreementStats) float64 {
+	w := math.Max(ag.WorstRelFroD, math.Max(ag.WorstRelFroE, ag.WorstConstant))
+	if math.IsNaN(w) {
+		return math.Inf(1) // NaN disagreement must fail the gate, not pass it
+	}
+	return w
+}
+
+func summarizeLatencies(lats []float64) latencyStats {
+	if len(lats) == 0 {
+		return latencyStats{}
+	}
+	sorted := append([]float64(nil), lats...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	const us = 1e6
+	return latencyStats{
+		MeanMicros: us * sum / float64(len(sorted)),
+		P50Micros:  us * q(0.50),
+		P99Micros:  us * q(0.99),
+		MaxMicros:  us * sorted[len(sorted)-1],
+	}
+}
+
+// columnPrefix views the first j columns of a as a fresh Dense.
+func columnPrefix(a *mat.Dense, j int) *mat.Dense {
+	r, _ := a.Dims()
+	out := mat.NewDense(r, j)
+	for i := 0; i < r; i++ {
+		copy(out.Row(i), a.Row(i)[:j])
+	}
+	return out
+}
+
+// toColumns slices a into column vectors.
+func toColumns(a *mat.Dense) [][]float64 {
+	r, c := a.Dims()
+	cols := make([][]float64, c)
+	for j := 0; j < c; j++ {
+		col := make([]float64, r)
+		for i := 0; i < r; i++ {
+			col[i] = a.At(i, j)
+		}
+		cols[j] = col
+	}
+	return cols
+}
+
+// syntheticTP builds the trace: a fat low-rank matrix (the constant
+// network component) with sparse spikes (transient contention).
+func syntheticTP(rng *rand.Rand, r, c, rank int, spikeFrac float64) *mat.Dense {
+	u := mat.RandomNormal(rng, r, rank, 0, 1)
+	v := mat.RandomNormal(rng, c, rank, 0, 1)
+	a := mat.NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			var s float64
+			for l := 0; l < rank; l++ {
+				s += u.At(i, l) * v.At(j, l)
+			}
+			a.Set(i, j, 10+s)
+		}
+	}
+	n := int(spikeFrac * float64(r*c))
+	for k := 0; k < n; k++ {
+		a.Set(rng.Intn(r), rng.Intn(c), 10+20*rng.NormFloat64())
+	}
+	return a
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streambench:", err)
+		os.Exit(cli.ExitFailure)
+	}
+}

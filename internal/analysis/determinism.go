@@ -46,6 +46,7 @@ var determinismRestricted = [][]string{
 	{"internal", "checkpoint"},
 	{"internal", "chaos"},
 	{"internal", "plan"},
+	{"internal", "core"},
 }
 
 // randConstructors are the math/rand(/v2) package functions that build

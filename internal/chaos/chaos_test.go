@@ -162,3 +162,18 @@ func TestCampaignReproducible(t *testing.T) {
 		t.Errorf("seeded campaign broke invariants:\n%s", a)
 	}
 }
+
+// TestStreamOracleSeededPlans: the streaming differential oracle holds on
+// seeded plans — batch agreement before and after a regime-triggered
+// partial re-solve, bit-for-bit deterministic.
+func TestStreamOracleSeededPlans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration-heavy")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		p := Plan{Seed: seed}
+		if fails := oracleStream(p); len(fails) > 0 {
+			t.Errorf("seed %d: %v", seed, fails)
+		}
+	}
+}

@@ -49,11 +49,17 @@ func failf(oracle, format string, args ...any) Failure {
 //     keep Norm(N_E) finite, grade a health within range, honor the
 //     confidence→strategy fallback ladder, and be bit-for-bit
 //     deterministic across identical runs.
+//   - stream: a streaming session fed the batch path's own trace and
+//     seeded pair re-measurements must agree with a cold batch solve
+//     within 1e-10 before and after a regime-triggered partial re-solve,
+//     never escalate the regime trigger to a full calibration, and be
+//     bit-for-bit deterministic across identical runs.
 func RunOracles(p Plan) []Failure {
 	var fails []Failure
 	fails = append(fails, oracleJournal(p)...)
 	fails = append(fails, oracleResume(p)...)
 	fails = append(fails, oracleHealth(p)...)
+	fails = append(fails, oracleStream(p)...)
 	return fails
 }
 

@@ -46,9 +46,19 @@ type CalibrationMemo struct {
 	// parallel sweep computes each trace once instead of once per worker.
 	// Waiters block on the call's done channel, which keeps them
 	// cancellable: a waiter whose context ends abandons the wait (the
-	// computation itself keeps running on the goroutine that started it
-	// and still populates the cache).
+	// computation itself keeps running on the goroutine that started it).
 	inflight map[CalibrationKey]*memoCall
+
+	// gens and allGen stamp computations against invalidations: every
+	// Invalidate(key) bumps gens[key] and every InvalidateAll bumps allGen.
+	// A computation records both at start and its result is cached only if
+	// neither moved — otherwise a compute that was racing an invalidation
+	// would re-insert the pre-fault trace, exactly the replay hazard the
+	// type doc warns about. The stale result is still returned to the
+	// waiters of that round (they asked before the fault); it just never
+	// outlives them in the cache.
+	gens   map[CalibrationKey]uint64
+	allGen uint64
 }
 
 type memoEntry struct {
@@ -57,11 +67,13 @@ type memoEntry struct {
 }
 
 // memoCall is one in-flight computation; tc/err are written exactly
-// once, before done is closed.
+// once, before done is closed. gen/allGen are the invalidation stamps the
+// computation started under.
 type memoCall struct {
-	done chan struct{}
-	tc   *TemporalCalibration
-	err  error
+	done        chan struct{}
+	tc          *TemporalCalibration
+	err         error
+	gen, allGen uint64
 }
 
 // MemoStats reports cache effectiveness.
@@ -80,6 +92,7 @@ func NewCalibrationMemo(capacity int) *CalibrationMemo {
 		lru:      list.New(),
 		byK:      map[CalibrationKey]*list.Element{},
 		inflight: map[CalibrationKey]*memoCall{},
+		gens:     map[CalibrationKey]uint64{},
 	}
 }
 
@@ -168,7 +181,7 @@ func (m *CalibrationMemo) GetOrComputeCtx(ctx context.Context, key CalibrationKe
 			return nil, cancel.Wrap("cloud.CalibrationMemo", 0, 0, context.Cause(ctx))
 		}
 	}
-	call := &memoCall{done: make(chan struct{})}
+	call := &memoCall{done: make(chan struct{}), gen: m.gens[key], allGen: m.allGen}
 	m.inflight[key] = call
 	m.mu.Unlock()
 
@@ -176,11 +189,18 @@ func (m *CalibrationMemo) GetOrComputeCtx(ctx context.Context, key CalibrationKe
 
 	m.mu.Lock()
 	m.misses++
-	if err == nil {
+	// Cache only if no invalidation raced the computation: the key's and
+	// the global generation must be unchanged and this call must still be
+	// the registered one (Invalidate detaches stale calls so a fresh
+	// computation can start while the old one is still running).
+	current := m.inflight[key] == call && m.gens[key] == call.gen && m.allGen == call.allGen
+	if err == nil && current {
 		m.put(key, tc.Clone())
 	}
 	call.tc, call.err = tc, err
-	delete(m.inflight, key)
+	if m.inflight[key] == call {
+		delete(m.inflight, key)
+	}
 	m.mu.Unlock()
 	close(call.done)
 
@@ -193,13 +213,19 @@ func (m *CalibrationMemo) GetOrComputeCtx(ctx context.Context, key CalibrationKe
 }
 
 // Invalidate drops the entry for key (e.g. after injecting a fault into
-// the substrate the key describes). It reports whether an entry existed.
+// the substrate the key describes) and fences any computation of that key
+// currently in flight: its eventual result is handed to the waiters that
+// already joined it but is not cached, and a request arriving after the
+// invalidation starts a fresh computation instead of joining the stale
+// one. It reports whether a cached entry existed.
 func (m *CalibrationMemo) Invalidate(key CalibrationKey) bool {
 	if m == nil {
 		return false
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.gens[key]++
+	delete(m.inflight, key)
 	el, ok := m.byK[key]
 	if !ok {
 		return false
@@ -209,13 +235,16 @@ func (m *CalibrationMemo) Invalidate(key CalibrationKey) bool {
 	return true
 }
 
-// InvalidateAll empties the memo.
+// InvalidateAll empties the memo and fences every in-flight computation,
+// with the same semantics per key as Invalidate.
 func (m *CalibrationMemo) InvalidateAll() {
 	if m == nil {
 		return
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.allGen++
+	m.inflight = map[CalibrationKey]*memoCall{}
 	m.lru.Init()
 	m.byK = map[CalibrationKey]*list.Element{}
 }

@@ -187,3 +187,176 @@ func TestTemporalCalibrationClone(t *testing.T) {
 		t.Fatal("mask mutation leaked")
 	}
 }
+
+// TestMemoInvalidateDropsInflightInsert is the regression test for the
+// invalidate-vs-inflight race: a computation that started before an
+// Invalidate must not populate the cache when it finishes after it — the
+// post-fault request would replay the pre-fault trace.
+func TestMemoInvalidateDropsInflightInsert(t *testing.T) {
+	m := NewCalibrationMemo(4)
+	key := memoKey(6, 200)
+	pre := measureFor(t, key)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tc, err := m.GetOrCompute(key, func() (*TemporalCalibration, error) {
+			close(started)
+			<-release // hold the computation while Invalidate lands
+			return pre, nil
+		})
+		if err != nil || tc == nil {
+			t.Errorf("computing request: tc=%v err=%v", tc, err)
+		}
+	}()
+	<-started
+	m.Invalidate(key)
+	close(release)
+	<-done
+
+	if got := m.Get(key); got != nil {
+		t.Fatal("pre-invalidation compute repopulated the cache")
+	}
+}
+
+// TestMemoInvalidateAllDropsInflightInsert: same fence through the global
+// invalidation.
+func TestMemoInvalidateAllDropsInflightInsert(t *testing.T) {
+	m := NewCalibrationMemo(4)
+	key := memoKey(6, 210)
+	pre := measureFor(t, key)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := m.GetOrCompute(key, func() (*TemporalCalibration, error) {
+			close(started)
+			<-release
+			return pre, nil
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+	m.InvalidateAll()
+	close(release)
+	<-done
+
+	if got := m.Get(key); got != nil {
+		t.Fatal("pre-InvalidateAll compute repopulated the cache")
+	}
+}
+
+// TestMemoInvalidateDetachesInflight: a request arriving after an
+// Invalidate must start a fresh computation instead of joining (and
+// receiving the result of) the stale in-flight one, and the fresh result
+// is the one that ends up cached.
+func TestMemoInvalidateDetachesInflight(t *testing.T) {
+	m := NewCalibrationMemo(4)
+	key := memoKey(6, 220)
+	pre := measureFor(t, key)
+	post := measureFor(t, key)
+	post.TotalCost = pre.TotalCost + 1000 // distinguishable post-fault trace
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	staleDone := make(chan struct{})
+	go func() {
+		defer close(staleDone)
+		if _, err := m.GetOrCompute(key, func() (*TemporalCalibration, error) {
+			close(started)
+			<-release
+			return pre, nil
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+	m.Invalidate(key)
+
+	freshRan := false
+	got, err := m.GetOrCompute(key, func() (*TemporalCalibration, error) {
+		freshRan = true
+		return post, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !freshRan {
+		t.Fatal("post-invalidation request joined the stale in-flight computation")
+	}
+	if got.TotalCost != post.TotalCost {
+		t.Fatalf("post-invalidation request got cost %v, want the fresh trace's %v", got.TotalCost, post.TotalCost)
+	}
+	close(release)
+	<-staleDone
+
+	cached := m.Get(key)
+	if cached == nil {
+		t.Fatal("fresh trace not cached")
+	}
+	if cached.TotalCost != post.TotalCost {
+		t.Fatalf("cache holds cost %v, want the post-fault %v — stale insert won", cached.TotalCost, post.TotalCost)
+	}
+}
+
+// TestMemoInvalidateRaceStress hammers GetOrCompute against Invalidate
+// under the race detector: after every invalidation the cache must never
+// serve a trace computed before it (cost stamps are monotonic per round).
+func TestMemoInvalidateRaceStress(t *testing.T) {
+	m := NewCalibrationMemo(8)
+	key := memoKey(6, 230)
+	base := measureFor(t, key)
+
+	var mu sync.Mutex
+	round := 0
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tc, err := m.GetOrCompute(key, func() (*TemporalCalibration, error) {
+					mu.Lock()
+					r := round
+					mu.Unlock()
+					c := base.Clone()
+					c.TotalCost = float64(r)
+					return c, nil
+				})
+				if err != nil || tc == nil {
+					t.Errorf("GetOrCompute: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			mu.Lock()
+			round++
+			mu.Unlock()
+			m.Invalidate(key)
+		}
+	}()
+	wg.Wait()
+
+	// After the dust settles the cached round stamp must be from after the
+	// final invalidation (or the key absent entirely).
+	mu.Lock()
+	final := round
+	mu.Unlock()
+	if tc := m.Get(key); tc != nil && int(tc.TotalCost) < final {
+		// A cached trace older than the last invalidation is exactly the
+		// replay hazard the generation stamps exist to prevent. (Equal is
+		// fine: a compute that started after the final Invalidate.)
+		t.Fatalf("cache serves round %d, last invalidation was %d", int(tc.TotalCost), final)
+	}
+}

@@ -85,6 +85,12 @@ type Advisor struct {
 	// observations whose EWMA sits above RegimeThreshold.
 	divEWMA   float64
 	regimeRun int
+
+	// Streaming session state (see streaming.go): when non-nil, regime
+	// changes are served by a warm partial re-solve over the streaming
+	// matrices instead of a full re-calibration.
+	stream          *streamState
+	partialResolves int
 }
 
 // NewAdvisor creates an advisor; call Calibrate before asking for
@@ -170,9 +176,12 @@ func (a *Advisor) analyze(ctx context.Context, tc *cloud.TemporalCalibration) er
 	a.heuristic = PerfFromRows(n,
 		HeuristicRow(tc.Latency, a.cfg.Heuristic, false),
 		HeuristicRow(tc.Bandwidth, a.cfg.Heuristic, true))
-	// Fresh guidance resets the divergence regime tracker.
+	// Fresh guidance resets the divergence regime tracker, and supersedes
+	// any open streaming session: its matrices no longer describe the
+	// installed guidance, so the caller must BeginStreaming again.
 	a.divEWMA = 0
 	a.regimeRun = 0
+	a.stream = nil
 	return nil
 }
 
@@ -272,8 +281,13 @@ func (a *Advisor) ExpectedTime(t *mpi.Tree, op mpi.Collective, msgBytes float64)
 // second, slower trigger catches regime changes the spike check misses:
 // an EWMA of the relative divergence that stays above RegimeThreshold for
 // RegimeWindow consecutive observations — sustained drift rather than a
-// one-off outlier — also forces a re-calibration. It reports whether a
-// re-calibration was triggered.
+// one-off outlier — also triggers maintenance. It reports whether
+// maintenance was triggered.
+//
+// With a streaming session open (BeginStreaming), the regime trigger is
+// served by a cheap warm partial re-solve over the streaming matrices
+// instead of a full re-calibration; a hard spike past Threshold still
+// forces the full calibrate (which closes the session).
 func (a *Advisor) Observe(expected, actual float64) (bool, error) {
 	if expected <= 0 || math.IsNaN(expected) {
 		return false, nil
@@ -290,6 +304,9 @@ func (a *Advisor) Observe(expected, actual float64) (bool, error) {
 		a.regimeRun = 0
 	}
 	if a.regimeRun >= a.cfg.RegimeWindow {
+		if a.stream != nil {
+			return true, a.PartialResolve()
+		}
 		a.recalibraions++
 		return true, a.Calibrate()
 	}

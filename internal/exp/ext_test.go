@@ -2,6 +2,7 @@ package exp
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"testing"
 )
@@ -141,5 +142,29 @@ func TestTableJSON(t *testing.T) {
 	}
 	if back.Title != "x" || len(back.Rows) != 1 || back.Rows[0][1] != "2" || back.Notes[0] != "n" {
 		t.Errorf("round trip: %+v", back)
+	}
+}
+
+func TestExtStreamingShape(t *testing.T) {
+	cfg := quick()
+	cfg.VMs = 8
+	tb, err := ExtStreaming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 || len(tb.Notes) != 2 {
+		t.Fatalf("table shape: %d rows %d notes", len(tb.Rows), len(tb.Notes))
+	}
+	// The differential oracle's acceptance bound, stated in the second note.
+	for _, row := range tb.Rows[:4] {
+		for _, cell := range row[1:] {
+			var v float64
+			if _, err := fmt.Sscanf(cell, "%e", &v); err != nil {
+				t.Fatalf("cell %q: %v", cell, err)
+			}
+			if v > 1e-10 {
+				t.Errorf("streaming-vs-batch disagreement %s in %v", cell, row)
+			}
+		}
 	}
 }

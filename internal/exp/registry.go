@@ -133,6 +133,13 @@ func Figures() []Figure {
 			}
 			return []*Table{r.Table}, nil
 		}},
+		{"ext-stream", "streaming decomposition vs batch oracle", func(cfg Config) ([]*Table, error) {
+			t, err := ExtStreaming(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{t}, nil
+		}},
 		{"ext-solvers", "APG vs IALM agreement", func(cfg Config) ([]*Table, error) {
 			t, err := ExtSolverAgreement(cfg)
 			if err != nil {

@@ -58,8 +58,8 @@ func (m *Dense) NormSpectral() float64 {
 	for i := range x {
 		x[i] = 1 / math.Sqrt(float64(len(x)))
 	}
-	var sigma float64
-	for iter := 0; iter < 200; iter++ {
+	var sigma, prevDelta float64
+	for iter := 0; iter < 500; iter++ {
 		y := m.MulVec(x)
 		z := m.MulTVec(y)
 		n := Normalize(z)
@@ -67,11 +67,26 @@ func (m *Dense) NormSpectral() float64 {
 			return 0
 		}
 		newSigma := math.Sqrt(n)
+		delta := newSigma - sigma
 		x = z
-		if math.Abs(newSigma-sigma) <= 1e-12*math.Max(1, newSigma) {
-			sigma = newSigma
-			break
+		if iter > 0 && math.Abs(delta) <= 1e-13*math.Max(1, newSigma) {
+			return newSigma
 		}
+		// Clustered leading singular values converge geometrically with
+		// ratio ρ = (σ₂/σ₁)² ≈ 1, where the per-step delta understates
+		// the remaining gap by 1/(1−ρ). Once the delta sequence looks
+		// geometric (same sign, shrinking), extrapolate the tail
+		// (Aitken Δ²) and stop when the corrected estimate has converged.
+		if iter > 1 {
+			rho := delta / prevDelta
+			if rho > 0 && rho < 1 {
+				tail := delta * rho / (1 - rho)
+				if math.Abs(tail) <= 1e-10*math.Max(1, newSigma) {
+					return newSigma + tail
+				}
+			}
+		}
+		prevDelta = delta
 		sigma = newSigma
 	}
 	return sigma

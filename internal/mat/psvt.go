@@ -44,9 +44,18 @@ const (
 // needs, plus the warm-start state (previous rank and left subspace).
 // The zero value is not usable; call NewSVTWorkspace. Binding is lazy:
 // the first SVTInto sizes the buffers, and a call with a different shape
-// re-sizes and forgets the warm start.
+// re-sizes and forgets the warm start — unless CarryAcrossWidths is on
+// and only the large dimension changed, in which case the warm subspace
+// (which lives on the small side) survives the re-bind.
 type SVTWorkspace struct {
 	rows, cols int // bound caller-facing shape
+
+	// carryWidths keeps the warm subspace across shape changes that only
+	// grow or shrink the fat orientation's large dimension (the streaming
+	// column-append case). The small side — the dimension the warm left
+	// subspace lives in — must be unchanged, and the orientation must not
+	// flip (the left subspace of A is not the left subspace of Aᵀ).
+	carryWidths bool
 
 	prevRank int // rank of the previous result; -1 = no warm state
 	uk       int // valid warm-start columns in uPrev
@@ -84,9 +93,55 @@ func (ws *SVTWorkspace) Reset() {
 	ws.uk = 0
 }
 
+// CarryAcrossWidths controls whether the warm subspace survives shape
+// changes that alter only the fat orientation's large dimension — e.g. a
+// streaming solver appending measurement columns to a fixed-height
+// TP-matrix. The warm left subspace is a basis of the small-side space,
+// so it stays a valid (approximate) seed when columns are added or
+// removed; any change to the small side, or a flip between fat and tall
+// orientation, still resets it. Off by default: batch solvers re-binding
+// to a new shape keep the old reset-everything semantics.
+func (ws *SVTWorkspace) CarryAcrossWidths(on bool) { ws.carryWidths = on }
+
+// rebind records a new caller-facing shape, deciding whether the warm
+// state survives. The warm subspace is kept only when all of:
+//   - carrying across widths was requested,
+//   - there is warm state to keep,
+//   - the fat orientation (rows ≤ cols vs rows > cols) did not flip, and
+//   - the small-side dimension — the space uPrev's columns live in — is
+//     unchanged.
+//
+// Everything else (scratch buffers) is sized per call from the current
+// dimensions, so no stale-capacity reuse can under-allocate or alias a
+// mis-shaped view.
+func (ws *SVTWorkspace) rebind(r, c int) {
+	keep := ws.carryWidths && ws.prevRank >= 0 &&
+		(r > c) == (ws.rows > ws.cols) &&
+		minInt(r, c) == minInt(ws.rows, ws.cols)
+	ws.rows, ws.cols = r, c
+	if !keep {
+		ws.Reset()
+	}
+}
+
 // Stats reports how many SVT calls used a full decomposition and how many
 // the truncated warm-started route.
 func (ws *SVTWorkspace) Stats() (full, truncated int) { return ws.fullSVDs, ws.truncs }
+
+// WarmSubspace exposes the warm-start state: the leading k left singular
+// vectors of the previously thresholded matrix in its fat orientation, as
+// a row-major rows×k block (rows = the small-side dimension), plus the
+// previous rank. The returned slice aliases workspace storage — callers
+// must treat it as read-only and must not hold it across SVTInto calls.
+// It returns (nil, 0, 0, -1) when there is no warm state (fresh, reset, or
+// last served by the square-ish exact route).
+func (ws *SVTWorkspace) WarmSubspace() (u []float64, rows, k, prevRank int) {
+	if ws.prevRank < 0 || ws.uk == 0 {
+		return nil, 0, 0, -1
+	}
+	r := minInt(ws.rows, ws.cols)
+	return ws.uPrev[:r*ws.uk], r, ws.uk, ws.prevRank
+}
 
 func growSlice(s *[]float64, n int) []float64 {
 	if cap(*s) < n {
@@ -117,8 +172,7 @@ func (ws *SVTWorkspace) SVTInto(out, m *Dense, tau float64) int {
 		return 0
 	}
 	if r0 != ws.rows || c0 != ws.cols {
-		ws.rows, ws.cols = r0, c0
-		ws.Reset()
+		ws.rebind(r0, c0)
 	}
 	small, large := r0, c0
 	if c0 < r0 {
@@ -240,7 +294,7 @@ func (ws *SVTWorkspace) svtFullFat(out, wm *Dense, tau float64) int {
 // which case the caller falls back to the full route.
 func (ws *SVTWorkspace) svtTruncated(out, wm *Dense, tau float64, k int) int {
 	r, c := wm.rows, wm.cols
-	g := view(&ws.hG, r, r, growSlice(&ws.gbuf, ws.rows*ws.rows))
+	g := view(&ws.hG, r, r, growSlice(&ws.gbuf, r*r))
 	GramInto(g, wm)
 	q := view(&ws.hQ, r, k, growSlice(&ws.qbuf, r*(r/2+1)))
 	q2 := view(&ws.hQ2, r, k, growSlice(&ws.q2buf, r*(r/2+1)))
@@ -295,8 +349,8 @@ func (ws *SVTWorkspace) svtTruncated(out, wm *Dense, tau float64, k int) int {
 		MulInto(q2, g, q)
 		h := view(&ws.hB, k, k, growSlice(&ws.bbuf, maxInt(k*k, 1)))
 		mulATBInto(h, q, q2)
-		ev := view(&ws.hEv, k, k, growSlice(&ws.evbuf, ws.rows*ws.rows))
-		vals := growSlice(&ws.vals, ws.rows)[:k]
+		ev := view(&ws.hEv, k, k, growSlice(&ws.evbuf, k*k))
+		vals := growSlice(&ws.vals, k)
 		eigSymInPlace(h, ev, vals)
 		rank := 0
 		for i := 0; i < k; i++ {

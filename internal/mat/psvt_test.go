@@ -183,3 +183,126 @@ func TestSVTWorkspaceParallelDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// columnPrefix returns the first cols columns of m — the column-by-column
+// streaming shape: every window of a growing trace shares the same planted
+// subspace.
+func columnPrefix(m *Dense, cols int) *Dense {
+	r, _ := m.Dims()
+	out := NewDense(r, cols)
+	for i := 0; i < r; i++ {
+		copy(out.Row(i), m.Row(i)[:cols])
+	}
+	return out
+}
+
+// TestSVTWorkspaceWidthGrowShrinkCarry is the regression test for warm
+// state across changing matrix shapes: with CarryAcrossWidths enabled,
+// growing or shrinking the large dimension between calls must keep the
+// warm subspace alive (the truncated route keeps engaging) and stay
+// within subspace-iteration tolerance of the exact SVT; buffers must be
+// resized for the new shape, never silently reused at stale dimensions.
+func TestSVTWorkspaceWidthGrowShrinkCarry(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	r := 32
+	full := lowRankPlusNoise(rng, r, 320, 4, 60, 0.02)
+	ws := NewSVTWorkspace()
+	ws.CarryAcrossWidths(true)
+
+	check := func(m *Dense, label string) {
+		rr, cc := m.Dims()
+		got := NewDense(rr, cc)
+		rank := ws.SVTInto(got, m, 5.0)
+		want, wantRank := m.SVT(5.0)
+		if rank != wantRank {
+			t.Fatalf("%s: rank = %d, want %d", label, rank, wantRank)
+		}
+		if diff := NormFroDiff(got, want); diff > 1e-6*math.Max(1, want.NormFrobenius()) {
+			t.Fatalf("%s: result off by %g", label, diff)
+		}
+	}
+
+	check(columnPrefix(full, 256), "cold 32x256")
+	fullBefore, _ := ws.Stats()
+
+	// Grow by a handful of columns, several times: every call must take
+	// the warm truncated route.
+	for _, c := range []int{272, 288, 320} {
+		check(columnPrefix(full, c), "grown")
+	}
+	// Shrink back (a sliding window dropping columns).
+	check(columnPrefix(full, 272), "shrunk 32x272")
+
+	fullAfter, trunc := ws.Stats()
+	if fullAfter != fullBefore {
+		t.Fatalf("width changes fell back to %d extra full decompositions; warm state not carried", fullAfter-fullBefore)
+	}
+	if trunc < 4 {
+		t.Fatalf("truncated route used %d times, want >= 4", trunc)
+	}
+}
+
+// TestSVTWorkspaceCarryResetCases: the carry must NOT survive a change of
+// the small-side dimension or an orientation flip — both invalidate the
+// subspace the warm columns live in.
+func TestSVTWorkspaceCarryResetCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	type step struct {
+		r, c  int
+		label string
+	}
+	cases := [][]step{
+		{{32, 256, "seed"}, {32, 288, "widen"}, {40, 288, "small side grew"}},
+		{{32, 256, "seed"}, {256, 32, "orientation flip"}},
+		{{32, 256, "seed"}, {24, 256, "small side shrank"}},
+	}
+	for ci, steps := range cases {
+		ws := NewSVTWorkspace()
+		ws.CarryAcrossWidths(true)
+		lastFull := 0
+		for si, st := range steps {
+			m := lowRankPlusNoise(rng, st.r, st.c, 4, 60, 0.02)
+			got := NewDense(st.r, st.c)
+			rank := ws.SVTInto(got, m, 5.0)
+			want, wantRank := m.SVT(5.0)
+			if rank != wantRank {
+				t.Fatalf("case %d %s: rank = %d, want %d", ci, st.label, rank, wantRank)
+			}
+			if diff := NormFroDiff(got, want); diff > 1e-6*math.Max(1, want.NormFrobenius()) {
+				t.Fatalf("case %d %s: result off by %g", ci, st.label, diff)
+			}
+			full, _ := ws.Stats()
+			if si == len(steps)-1 && si > 0 && st.label != "widen" {
+				if full == lastFull {
+					t.Fatalf("case %d %s: warm state survived an incompatible reshape", ci, st.label)
+				}
+			}
+			lastFull = full
+		}
+	}
+}
+
+// TestSVTWorkspaceWidthChangeDefaultResets pins the legacy contract:
+// without CarryAcrossWidths, any shape change still forgets the warm
+// state, so batch solvers binding to a new problem are unaffected by the
+// streaming extension.
+func TestSVTWorkspaceWidthChangeDefaultResets(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	ws := NewSVTWorkspace()
+	full := lowRankPlusNoise(rng, 32, 272, 4, 60, 0.02)
+	a, b := columnPrefix(full, 256), full
+	out := NewDense(32, 256)
+	ws.SVTInto(out, a, 5.0)
+	ws.SVTInto(out, a, 5.0) // warm up: second same-shape call goes truncated
+	_, truncBefore := ws.Stats()
+	if truncBefore == 0 {
+		t.Fatal("warm route never engaged on same-shape repeat")
+	}
+	fullBefore, _ := ws.Stats()
+	outB := NewDense(32, 272)
+	ws.SVTInto(outB, b, 5.0)
+	fullAfter, _ := ws.Stats()
+	if fullAfter != fullBefore+1 {
+		t.Fatalf("default width change did not reset warm state (full %d -> %d)", fullBefore, fullAfter)
+	}
+}

@@ -28,6 +28,13 @@ type Solver struct {
 	rows, cols int
 	svt        *mat.SVTWorkspace
 
+	// carryWarm, set by the streaming solver, keeps the SVT warm subspace
+	// across solves (and, with the workspace's CarryAcrossWidths, across
+	// widths) instead of resetting it per bind — the whole point of
+	// warm-started incremental re-solves. Batch solvers leave it false:
+	// independent solves must not inherit a previous problem's subspace.
+	carryWarm bool
+
 	// APG slots. dPrev/ePrev double as the "next" iterate target each
 	// step, so the rotation needs no third buffer.
 	d, e, dPrev, ePrev, yd, ye, g *mat.Dense
@@ -48,11 +55,13 @@ func NewSolver() *Solver {
 // diagnostics for benchmarking the partial-SVD acceleration.
 func (s *Solver) SVTStats() (full, truncated int) { return s.svt.Stats() }
 
-// bind (re)allocates the arena for an r×c problem. Rebinding resets the
-// SVT warm state; binding to the already-bound shape only resets warm
-// state (each solve must not inherit the previous solve's subspace).
+// bind (re)allocates the arena for an r×c problem. Unless carryWarm is
+// set, binding resets the SVT warm state even at the already-bound shape
+// (each batch solve must not inherit the previous solve's subspace).
 func (s *Solver) bind(r, c int) {
-	s.svt.Reset()
+	if !s.carryWarm {
+		s.svt.Reset()
+	}
 	if s.rows == r && s.cols == c {
 		return
 	}
