@@ -1,4 +1,4 @@
-// Command simbench times the two hot paths this repository optimizes and
+// Command simbench times the hot paths this repository optimizes and
 // writes the results to BENCH_sim.json:
 //
 //  1. the 1024-node background-traffic simulation (the §V-E substrate):
@@ -8,13 +8,22 @@
 //  2. a quick-profile expdriver run: every figure, timed in the
 //     pre-optimization configuration (serial sweeps, global allocator,
 //     no calibration memo) versus the optimized one (parallel sweeps,
-//     incremental allocator, calibration-trace memo).
+//     incremental allocator, calibration-trace memo);
+//  3. with -topo clos|fattree, a large-fabric sweep instead: an ECMP
+//     Clos or fat-tree at -machines scale, reporting per-event-step
+//     latency and the component-sharded fill versus the joint
+//     (unsharded) fill — the tentpole speedup — as a sim_<topo>_<N>
+//     entry merged into the existing report file.
 //
 // Usage:
 //
 //	simbench [-quick] [-reps N] [-out BENCH_sim.json]
+//	         [-topo tree|clos|fattree] [-machines N] [-parallelism N]
 //
-// -quick shrinks both benchmarks for CI smoke runs.
+// -quick shrinks the tree benchmarks for CI smoke runs. -parallelism
+// pins the mat worker pool (and the expdriver sweep width) so reported
+// numbers are reproducible across hosts; every phase reports the worker
+// count it effectively ran with.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"netconstant/internal/cli"
 	"netconstant/internal/cloud"
 	"netconstant/internal/exp"
+	"netconstant/internal/mat"
 	"netconstant/internal/simnet"
 	"netconstant/internal/topo"
 )
@@ -43,6 +53,7 @@ type simReport struct {
 	VMs         int     `json:"vms"`
 	BgSources   int     `json:"bg_sources"`
 	Steps       int     `json:"steps"`
+	Workers     int     `json:"workers"` // effective mat parallelism
 	GlobalSec   float64 `json:"global_s"`
 	IncrSec     float64 `json:"incremental_s"`
 	Speedup     float64 `json:"speedup"`
@@ -51,20 +62,48 @@ type simReport struct {
 }
 
 type driverReport struct {
-	Figures      int     `json:"figures"`
-	BaselineSec  float64 `json:"baseline_s"` // serial, global fill, no memo
-	OptimizedSec float64 `json:"optimized_s"`
-	Speedup      float64 `json:"speedup"`
-	MemoHits     int     `json:"memo_hits"`
-	MemoMisses   int     `json:"memo_misses"`
+	Figures          int     `json:"figures"`
+	BaselineWorkers  int     `json:"baseline_workers"` // serial by construction
+	OptimizedWorkers int     `json:"optimized_workers"`
+	BaselineSec      float64 `json:"baseline_s"` // serial, global fill, no memo
+	OptimizedSec     float64 `json:"optimized_s"`
+	Speedup          float64 `json:"speedup"`
+	MemoHits         int     `json:"memo_hits"`
+	MemoMisses       int     `json:"memo_misses"`
 }
 
 type report struct {
-	Quick     bool         `json:"quick"`
-	GoMaxProc int          `json:"gomaxprocs"`
-	Reps      int          `json:"reps"`
-	Sim       simReport    `json:"sim_1024"`
-	Expdriver driverReport `json:"expdriver_quick"`
+	Quick       bool         `json:"quick"`
+	GoMaxProc   int          `json:"gomaxprocs"`
+	Reps        int          `json:"reps"`
+	Parallelism int          `json:"parallelism"`
+	Sim         simReport    `json:"sim_1024"`
+	Expdriver   driverReport `json:"expdriver_quick"`
+}
+
+// fabricReport is one large-fabric sweep entry (sim_<topo>_<machines>).
+type fabricReport struct {
+	Topo        string  `json:"topo"`
+	Machines    int     `json:"machines"`
+	Nodes       int     `json:"nodes"`
+	Links       int     `json:"links"`
+	BgSources   int     `json:"bg_sources"`
+	ActiveFlows int     `json:"active_flows"`
+	PairsTotal  int     `json:"ecmp_pairs"`
+	PairsMulti  int     `json:"ecmp_multipath_pairs"`
+	Components  int     `json:"refill_components"`
+	Workers     int     `json:"workers"` // effective mat parallelism for the sharded-N phase
+	Reps        int     `json:"reps"`
+	BuildSec    float64 `json:"build_s"`
+	WarmupSec   float64 `json:"warmup_s"`
+	Steps       int     `json:"steps"`
+	StepSec     float64 `json:"per_step_s"`
+	FillJoint   float64 `json:"fill_joint_s"`      // unsharded fill, the pre-optimization baseline
+	FillShard1  float64 `json:"fill_sharded_1w_s"` // component-sharded, 1 worker
+	FillShardN  float64 `json:"fill_sharded_nw_s"` // component-sharded, Workers workers
+	Speedup     float64 `json:"shard_speedup"`     // joint / sharded-N
+	Verified    bool    `json:"verified_vs_global"`
+	TotalSec    float64 `json:"total_s"`
 }
 
 // simWorkload runs one calibration-style sweep over a freshly built
@@ -122,11 +161,154 @@ func timeBest(ctx context.Context, reps int, fn func()) float64 {
 	return best
 }
 
+// mergeReport merges the given keys into the JSON object at path (other
+// keys are preserved), so fabric entries and the base report can share
+// one BENCH_sim.json.
+func mergeReport(path string, set map[string]any) error {
+	obj := map[string]json.RawMessage{}
+	if buf, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(buf, &obj); err != nil {
+			return fmt.Errorf("existing %s is not a JSON object: %w", path, err)
+		}
+	}
+	for k, v := range set {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		obj[k] = raw
+	}
+	buf, err := json.MarshalIndent(obj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// buildFabric constructs the benchmark fabric for -topo at -machines
+// scale and returns it with a display label.
+func buildFabric(kind string, machines int) (*topo.Topology, error) {
+	switch kind {
+	case "clos":
+		return topo.NewClosE(topo.ClosShape(machines))
+	case "fattree":
+		// Smallest even arity whose k³/4 servers cover the request.
+		k := 4
+		for k*k*k/4 < machines {
+			k += 2
+		}
+		return topo.NewFatTreeE(topo.FatTreeConfig{K: k, LinkBps: 1e9 / 8, HopLatency: 50e-6})
+	}
+	return nil, fmt.Errorf("unknown fabric %q", kind)
+}
+
+// runFabric is the large-fabric sweep: build, warm up background
+// traffic, measure per-event-step latency, then time whole-network
+// refills under the joint (unsharded) fill and the component-sharded
+// fill at 1 and N workers, checking byte-identity across all of them.
+func runFabric(ctx context.Context, kind string, machines, reps, workers int) (fabricReport, error) {
+	fr := fabricReport{Topo: kind, Machines: machines, Reps: reps, Workers: workers}
+	totalStart := time.Now()
+
+	buildStart := time.Now()
+	fabric, err := buildFabric(kind, machines)
+	if err != nil {
+		return fr, err
+	}
+	fr.Nodes, fr.Links = fabric.NumNodes(), fabric.NumLinks()
+	bgSources := machines / 16
+	if bgSources < 4 {
+		bgSources = 4
+	}
+	fr.BgSources = bgSources
+	vms := 16
+	sc := cloud.NewSimCluster(cloud.SimClusterConfig{
+		Topo:      fabric,
+		VMs:       vms,
+		Seed:      42,
+		BgLinks:   bgSources,
+		BgBytes:   32 << 20,
+		BgLambda:  1,
+		ProbeBulk: 1 << 20,
+	})
+	defer sc.StopBackground()
+	fr.BuildSec = time.Since(buildStart).Seconds()
+
+	// Steady state: every source has routed its pair (ECMP) and sent at
+	// least one message.
+	warmStart := time.Now()
+	sc.AdvanceTime(2)
+	fr.WarmupSec = time.Since(warmStart).Seconds()
+	s := sc.Sim
+	fr.PairsTotal, fr.PairsMulti = s.ECMPPairs()
+
+	// Per-event-step latency: arrivals and departures with their
+	// incremental recomputes, on the live fabric.
+	steps := 2000
+	stepStart := time.Now()
+	n := 0
+	for ; n < steps && ctx.Err() == nil; n++ {
+		if !s.Eng.Step() {
+			break
+		}
+	}
+	fr.Steps = n
+	if n > 0 {
+		fr.StepSec = time.Since(stepStart).Seconds() / float64(n)
+	}
+	fr.ActiveFlows = s.ActiveFlows()
+
+	// Whole-network refills are semantic no-ops under max-min backends,
+	// so they can be repeated for timing without perturbing the
+	// simulation; the fingerprint must not move across any mode.
+	var fpJoint, fpShard1, fpShardN uint64
+	s.SetShardedFill(false)
+	fr.FillJoint = timeBest(ctx, reps, func() { s.RefillAll() })
+	fpJoint = s.RateFingerprint()
+	s.SetShardedFill(true)
+
+	oldPar := mat.SetParallelism(1)
+	fr.FillShard1 = timeBest(ctx, reps, func() { fr.Components, _ = s.RefillAll() })
+	fpShard1 = s.RateFingerprint()
+	mat.SetParallelism(workers)
+	fr.FillShardN = timeBest(ctx, reps, func() { s.RefillAll() })
+	fpShardN = s.RateFingerprint()
+	mat.SetParallelism(oldPar)
+
+	if fpJoint != fpShard1 || fpShard1 != fpShardN {
+		return fr, fmt.Errorf("rate fingerprints diverged: joint %#x, sharded@1 %#x, sharded@%d %#x",
+			fpJoint, fpShard1, workers, fpShardN)
+	}
+	// Bit-exact differential against the whole-network reference fill
+	// (quadratic; skipped at the largest scale to keep the sweep fast —
+	// the fingerprint identity above still pins all modes together).
+	if machines <= 32768 {
+		s.SetVerifyGlobal(true)
+		s.RefillAll()
+		s.SetVerifyGlobal(false)
+		if err := s.VerifyError(); err != nil {
+			return fr, fmt.Errorf("sharded fill diverged from global reference: %w", err)
+		}
+		fr.Verified = true
+	}
+	fr.Speedup = fr.FillJoint / fr.FillShardN
+	fr.TotalSec = time.Since(totalStart).Seconds()
+	return fr, nil
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs")
 	reps := flag.Int("reps", 2, "repetitions per timing (best-of)")
 	out := flag.String("out", "BENCH_sim.json", "report path")
+	topoKind := flag.String("topo", "tree", "benchmark fabric: tree (full report), clos or fattree (large-fabric sweep)")
+	machines := flag.Int("machines", 4096, "fabric scale for -topo clos|fattree")
+	par := flag.Int("parallelism", 0, "mat worker-pool size and expdriver sweep width (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	// Pin the worker pool up front so every phase below — and the
+	// effective counts it reports — follows one knob.
+	mat.SetParallelism(*par)
+	workers := mat.Parallelism()
 
 	// First SIGINT/SIGTERM: finish the current repetition/figure, then
 	// exit 130 without writing a report (partial timings would be
@@ -150,14 +332,37 @@ func main() {
 		}
 	}
 
-	rep := report{Quick: *quick, GoMaxProc: runtime.GOMAXPROCS(0), Reps: *reps}
+	// --- Large-fabric sweep mode. ---
+	if *topoKind != "tree" {
+		fr, err := runFabric(ctx, *topoKind, *machines, *reps, workers)
+		bailIfInterrupted()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(cli.ExitFailure)
+		}
+		key := fmt.Sprintf("sim_%s_%d", *topoKind, *machines)
+		if err := mergeReport(*out, map[string]any{key: fr}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(cli.ExitFailure)
+		}
+		fmt.Printf("%s %d machines (%d nodes, %d links): %d ECMP pairs (%d multipath), %d bg sources, %d active flows\n",
+			*topoKind, fr.Machines, fr.Nodes, fr.Links, fr.PairsTotal, fr.PairsMulti, fr.BgSources, fr.ActiveFlows)
+		fmt.Printf("  build %.2fs, warmup %.2fs, %.1fµs/step over %d steps\n",
+			fr.BuildSec, fr.WarmupSec, fr.StepSec*1e6, fr.Steps)
+		fmt.Printf("  refill (%d components): joint %.3fs, sharded@1 %.3fs, sharded@%d %.3fs (%.1fx, verified=%v)\n",
+			fr.Components, fr.FillJoint, fr.FillShard1, fr.Workers, fr.FillShardN, fr.Speedup, fr.Verified)
+		fmt.Printf("wrote %s (%s)\n", *out, key)
+		return
+	}
+
+	rep := report{Quick: *quick, GoMaxProc: runtime.GOMAXPROCS(0), Reps: *reps, Parallelism: workers}
 
 	// --- 1. The 1024-node background-traffic simulation. ---
 	racks, servers, vms, bgLinks, steps := 32, 32, 24, 48, 2
 	if *quick {
 		racks, servers, vms, bgLinks, steps = 8, 8, 10, 16, 2
 	}
-	rep.Sim = simReport{Machines: racks * servers, VMs: vms, BgSources: bgLinks, Steps: steps}
+	rep.Sim = simReport{Machines: racks * servers, VMs: vms, BgSources: bgLinks, Steps: steps, Workers: workers}
 
 	prev := simnet.SetDefaultGlobalFill(true)
 	rep.Sim.NormEGlobal = simWorkload(racks, servers, vms, bgLinks, steps)
@@ -208,11 +413,14 @@ func main() {
 
 	baseCfg := exp.Quick()
 	baseCfg.Workers = 1
+	rep.Expdriver.BaselineWorkers = 1
 	prev = simnet.SetDefaultGlobalFill(true)
 	rep.Expdriver.BaselineSec = timeBest(ctx, *reps, func() { runAll(baseCfg) })
 	simnet.SetDefaultGlobalFill(false)
 
 	optCfg := exp.Quick()
+	optCfg.Workers = workers
+	rep.Expdriver.OptimizedWorkers = workers
 	var lastMemo *cloud.CalibrationMemo
 	rep.Expdriver.OptimizedSec = timeBest(ctx, *reps, func() {
 		cfg := optCfg
@@ -229,12 +437,16 @@ func main() {
 		rep.Expdriver.Figures, rep.Expdriver.BaselineSec, rep.Expdriver.OptimizedSec,
 		rep.Expdriver.Speedup, st.Hits, st.Misses)
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(cli.ExitFailure)
-	}
-	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+	// Merge rather than overwrite so large-fabric entries (sim_clos_*,
+	// sim_fattree_*) written by -topo runs survive.
+	if err := mergeReport(*out, map[string]any{
+		"quick":           rep.Quick,
+		"gomaxprocs":      rep.GoMaxProc,
+		"reps":            rep.Reps,
+		"parallelism":     rep.Parallelism,
+		"sim_1024":        rep.Sim,
+		"expdriver_quick": rep.Expdriver,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(cli.ExitFailure)
 	}

@@ -39,6 +39,7 @@ var Determinism = &Analyzer{
 var determinismRestricted = [][]string{
 	{"internal", "exp"},
 	{"internal", "simnet"},
+	{"internal", "topo"},
 	{"internal", "cloud"},
 	{"internal", "rpca"},
 	{"internal", "workflow"},

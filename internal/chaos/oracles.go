@@ -54,12 +54,18 @@ func failf(oracle, format string, args ...any) Failure {
 //     within 1e-10 before and after a regime-triggered partial re-solve,
 //     never escalate the regime trigger to a full calibration, and be
 //     bit-for-bit deterministic across identical runs.
+//   - clos: on a random ECMP Clos fabric, the component-sharded max-min
+//     fill must stay bitwise equal to a whole-network reference fill,
+//     byte-identical across mat worker counts 1 and 8 and across
+//     replays, satisfy the max-min invariants, and agree with the
+//     bottleneck-structure backend within 1e-9 relative.
 func RunOracles(p Plan) []Failure {
 	var fails []Failure
 	fails = append(fails, oracleJournal(p)...)
 	fails = append(fails, oracleResume(p)...)
 	fails = append(fails, oracleHealth(p)...)
 	fails = append(fails, oracleStream(p)...)
+	fails = append(fails, oracleClos(p)...)
 	return fails
 }
 

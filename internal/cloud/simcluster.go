@@ -26,6 +26,13 @@ type SimCluster struct {
 // SimClusterConfig parameterizes NewSimCluster.
 type SimClusterConfig struct {
 	Tree topo.TreeConfig
+	// Topo, when non-nil, is used instead of building a tree from Tree —
+	// e.g. a Clos or fat-tree fabric from the topo builders. Multi-path
+	// fabrics are fine: the simulator routes with deterministic ECMP.
+	Topo *topo.Topology
+	// Alloc selects the simulator's bandwidth-sharing backend;
+	// simnet.AllocDefault keeps the incremental max-min default.
+	Alloc simnet.AllocatorKind
 	// VMs is the number of cluster members, placed on distinct servers
 	// chosen uniformly at random.
 	VMs  int
@@ -50,8 +57,12 @@ type SimClusterConfig struct {
 // NewSimCluster builds the simulated cluster with its background traffic
 // already running.
 func NewSimCluster(cfg SimClusterConfig) *SimCluster {
-	t := topo.NewTree(cfg.Tree)
+	t := cfg.Topo
+	if t == nil {
+		t = topo.NewTree(cfg.Tree)
+	}
 	s := simnet.New(t)
+	s.SetAllocator(cfg.Alloc)
 	rng := stats.NewRNG(cfg.Seed)
 	servers := t.Servers()
 	if cfg.VMs <= 0 || cfg.VMs > len(servers) {

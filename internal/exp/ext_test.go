@@ -168,3 +168,37 @@ func TestExtStreamingShape(t *testing.T) {
 		}
 	}
 }
+
+func TestExtClosShape(t *testing.T) {
+	cfg := quick()
+	res, err := ExtClos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("quick sweep has %d points", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Machines < 64 || p.Nodes <= p.Machines || p.Links < p.Machines {
+			t.Errorf("fabric shape implausible: %+v", p)
+		}
+		// Clos cross-leaf pairs dominate, so ECMP must have resolved some
+		// pairs over multiple equal-cost paths.
+		if p.PairsMulti == 0 || p.PairsMulti > p.PairsTotal {
+			t.Errorf("multipath pair count %d/%d", p.PairsMulti, p.PairsTotal)
+		}
+		if p.Components < 1 || p.Flows < p.Components {
+			t.Errorf("refill shape: %d components, %d flows", p.Components, p.Flows)
+		}
+		// The two allocator backends must agree to floating-point noise.
+		if p.Agreement > 1e-9 {
+			t.Errorf("allocator agreement %g", p.Agreement)
+		}
+		if !(p.NormE >= 0) {
+			t.Errorf("Norm(N_E) = %v", p.NormE)
+		}
+	}
+	if len(res.Table.Rows) != 2 {
+		t.Error("table rows")
+	}
+}

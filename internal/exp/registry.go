@@ -154,6 +154,13 @@ func Figures() []Figure {
 			}
 			return []*Table{r.Table}, nil
 		}},
+		{"ext-clos", "§V-E pipeline on ECMP Clos fabrics past 1024 machines", func(cfg Config) ([]*Table, error) {
+			r, err := ExtClos(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []*Table{r.Table}, nil
+		}},
 		{"ext-resilience", "graceful degradation under injected faults", func(cfg Config) ([]*Table, error) {
 			r, err := ExtResilience(cfg)
 			if err != nil {

@@ -91,6 +91,9 @@ func (t *Table) Markdown() string {
 // f formats a float compactly for table cells.
 func f(v float64) string { return fmt.Sprintf("%.4g", v) }
 
+// itoa formats an integer for table cells.
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
 // pct formats a fraction as a percentage.
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 

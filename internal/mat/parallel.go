@@ -114,6 +114,31 @@ func parGate(work int) bool {
 	return work >= 2*parMinWork && Parallelism() > 1
 }
 
+// shardTask adapts a per-shard closure to the pool's range interface.
+type shardTask struct{ f func(shard int) }
+
+func (t shardTask) Run(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		t.f(i)
+	}
+}
+
+// ParallelShards runs f(0), …, f(n-1) — possibly concurrently on the
+// package worker pool, falling back to an inline sequential loop when the
+// pool is busy or Parallelism() is 1. It returns only after every shard
+// has run.
+//
+// Callers must uphold the pool's determinism contract themselves: each
+// shard may write only state owned exclusively by that shard (disjoint
+// index ranges, per-shard slots), and each shard's computation must not
+// depend on whether other shards have run. simnet's component-sharded
+// max-min fill is the canonical user: connected components of the
+// flow↔link sharing graph are arithmetically independent, so filling them
+// in any interleaving is byte-identical to the sequential loop.
+func ParallelShards(n int, f func(shard int)) {
+	parallelFor(n, 1, shardTask{f})
+}
+
 // parallelFor runs t over [0, n) split into roughly equal chunks of at
 // least grain elements. It falls back to a single inline Run when the
 // split is too fine, the pool is busy, or parallelism is 1.

@@ -2,6 +2,7 @@ package mat
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
 )
 
@@ -215,4 +216,44 @@ func (t *nestedTask) Run(lo, hi int) {
 	for i := lo; i < hi; i++ {
 		t.out[i] = t.a.Gram() // inner parallel attempt while pool is busy
 	}
+}
+
+// TestParallelShards checks the exported shard runner: every shard runs
+// exactly once at any worker count, per-shard slot writes land intact,
+// and a nested invocation from inside a pooled task degrades to the
+// inline loop instead of deadlocking.
+func TestParallelShards(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		withParallelism(workers, func() {
+			const n = 237
+			hits := make([]int32, n)
+			ParallelShards(n, func(shard int) {
+				atomic.AddInt32(&hits[shard], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d: shard %d ran %d times", workers, i, h)
+				}
+			}
+		})
+	}
+	// Zero and negative shard counts are no-ops.
+	ParallelShards(0, func(int) { t.Fatal("shard ran for n=0") })
+	ParallelShards(-3, func(int) { t.Fatal("shard ran for n<0") })
+	// Nested: the inner ParallelShards runs while the pool is held.
+	withParallelism(4, func() {
+		outer := make([][]int, 16)
+		ParallelShards(16, func(i int) {
+			inner := make([]int, 32)
+			ParallelShards(32, func(j int) { inner[j] = i*32 + j })
+			outer[i] = inner
+		})
+		for i, row := range outer {
+			for j, v := range row {
+				if v != i*32+j {
+					t.Fatalf("nested shard (%d,%d) = %d", i, j, v)
+				}
+			}
+		}
+	})
 }

@@ -1,0 +1,342 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netconstant/internal/mat"
+	"netconstant/internal/topo"
+)
+
+// randomFabric builds a small random Clos or fat-tree from the seed rng —
+// multi-path fabrics that exercise ECMP routing and component sharding.
+func randomFabric(rng *rand.Rand) *topo.Topology {
+	switch rng.Intn(3) {
+	case 0:
+		return topo.NewClos(topo.ClosConfig{
+			Leaves:         2 + rng.Intn(3),
+			ServersPerLeaf: 2 + rng.Intn(2),
+			Spines:         2 + rng.Intn(2),
+			ServerBps:      1e6,
+		})
+	case 1:
+		return topo.NewClos(topo.ClosConfig{
+			Stages:         3,
+			Pods:           2,
+			Leaves:         2,
+			ServersPerLeaf: 2,
+			Spines:         2,
+			SuperSpines:    2,
+			ServerBps:      1e6,
+		})
+	default:
+		return topo.NewFatTree(topo.FatTreeConfig{K: 4, LinkBps: 1e6, HopLatency: 1e-4})
+	}
+}
+
+// loadFabric drives a seeded workload — staggered random pair flows plus
+// background churn — to simulated time 3 and returns the simulator with
+// flows still in flight. configure, if non-nil, runs on the fresh
+// simulator before any flow starts.
+func loadFabric(tr *topo.Topology, seed int64, verify bool, configure func(*Sim)) *Sim {
+	s := New(tr)
+	s.SetVerifyGlobal(verify)
+	if configure != nil {
+		configure(s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	srv := tr.Servers()
+	for k := 0; k < 50; k++ {
+		a := srv[rng.Intn(len(srv))]
+		b := srv[rng.Intn(len(srv))]
+		if a == b {
+			continue
+		}
+		bytes := math.Pow(10, 4+3*rng.Float64())
+		at := rng.Float64() * 2
+		aa, bb := a, b
+		s.Eng.Schedule(at, func() { s.StartFlow(aa, bb, bytes, nil) })
+	}
+	for k := 0; k < 4; k++ {
+		a := srv[rng.Intn(len(srv))]
+		b := srv[(a+1+rng.Intn(len(srv)-1))%len(srv)]
+		if a == b {
+			continue
+		}
+		s.AddBackground(rand.New(rand.NewSource(seed*100+int64(k))), a, b, 5e5, 0.05)
+	}
+	s.Eng.RunUntil(3)
+	return s
+}
+
+// Property test for the tentpole: on random Clos and fat-tree fabrics
+// with random placements and background flows, the component-sharded
+// parallel fill must be byte-identical to the sequential fill at every
+// worker count, and to the whole-network reference fill (verifyGlobal
+// runs the global allocator side by side after every event).
+func TestPropertyShardedByteIdenticalAcrossWorkers(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		tr := randomFabric(rand.New(rand.NewSource(seed)))
+		var want uint64
+		for i, workers := range []int{1, 2, 8} {
+			old := mat.SetParallelism(workers)
+			s := loadFabric(tr, seed, true, nil)
+			comps, flows := s.RefillAll()
+			fp := s.RateFingerprint()
+			mat.SetParallelism(old)
+			if err := s.VerifyError(); err != nil {
+				t.Fatalf("seed %d workers %d: sharded fill diverged from global: %v", seed, workers, err)
+			}
+			if comps < 1 && flows > 0 {
+				t.Fatalf("seed %d workers %d: refill saw %d components for %d flows", seed, workers, comps, flows)
+			}
+			if i == 0 {
+				want = fp
+			} else if fp != want {
+				t.Fatalf("seed %d: rate fingerprint differs at %d workers: %#x != %#x", seed, workers, fp, want)
+			}
+		}
+	}
+}
+
+// The sharding ablation switch must not change a single bit either: the
+// joint fill over the whole dirty range and the per-component fills are
+// the same arithmetic.
+func TestShardedVsUnshardedByteIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		tr := randomFabric(rand.New(rand.NewSource(seed + 40)))
+		run := func(sharded bool) uint64 {
+			s := loadFabric(tr, seed, false, func(s *Sim) {
+				if prev := s.SetShardedFill(sharded); !prev {
+					t.Fatal("sharded fill should default on")
+				}
+			})
+			s.RefillAll()
+			return s.RateFingerprint()
+		}
+		if fa, fb := run(true), run(false); fa != fb {
+			t.Fatalf("seed %d: sharded %#x != unsharded %#x", seed, fa, fb)
+		}
+	}
+}
+
+// The parallel dispatch path (>= shardParMinFlows dirty flows across >= 2
+// components) must also be byte-identical: many disjoint same-leaf pairs
+// form many independent components, and a RefillAll seeds them all at
+// once.
+func TestManyComponentParallelRefill(t *testing.T) {
+	tr := topo.NewClos(topo.ClosConfig{Leaves: 32, ServersPerLeaf: 4, Spines: 2, ServerBps: 1e6})
+	srv := tr.Servers()
+	build := func() *Sim {
+		s := New(tr)
+		s.SetVerifyGlobal(true)
+		// Three flows per leaf, strictly leaf-local: each leaf is its own
+		// connected component of the sharing graph.
+		for leaf := 0; leaf < 32; leaf++ {
+			base := leaf * 4
+			s.StartFlow(srv[base], srv[base+1], 1e9, nil)
+			s.StartFlow(srv[base+1], srv[base+2], 1e9, nil)
+			s.StartFlow(srv[base+2], srv[base+3], 1e9, nil)
+		}
+		s.Eng.RunUntil(1)
+		return s
+	}
+	var want uint64
+	for i, workers := range []int{1, 8} {
+		old := mat.SetParallelism(workers)
+		s := build()
+		comps, flows := s.RefillAll()
+		fp := s.RateFingerprint()
+		mat.SetParallelism(old)
+		if err := s.VerifyError(); err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if comps != 32 || flows != 96 {
+			t.Fatalf("workers %d: refill shape (%d comps, %d flows), want (32, 96)", workers, comps, flows)
+		}
+		if i == 0 {
+			want = fp
+		} else if fp != want {
+			t.Fatalf("parallel refill fingerprint %#x != sequential %#x", fp, want)
+		}
+	}
+}
+
+// The bottleneck-structure backend must agree with progressive-filling
+// max-min within floating-point tolerance on random fabrics, and a
+// simulation run entirely under it must satisfy the max-min invariants.
+func TestBottleneckBackendAgreesWithMaxMin(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		tr := randomFabric(rand.New(rand.NewSource(seed + 80)))
+		s := loadFabric(tr, seed, false, nil)
+		if rel := s.AllocatorAgreement(); rel > 1e-9 {
+			t.Fatalf("seed %d: backends disagree by %g relative", seed, rel)
+		}
+		// Re-run the same workload under the bottleneck backend.
+		b := New(tr)
+		if prev := b.SetAllocator(AllocBottleneck); prev != AllocMaxMin {
+			t.Fatalf("default allocator = %v", prev)
+		}
+		if got := b.SetAllocator(AllocDefault); got != AllocBottleneck {
+			t.Fatalf("AllocDefault query returned %v", got)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		srv := tr.Servers()
+		for k := 0; k < 30; k++ {
+			x := srv[rng.Intn(len(srv))]
+			y := srv[rng.Intn(len(srv))]
+			if x == y {
+				continue
+			}
+			xx, yy := x, y
+			b.Eng.Schedule(rng.Float64(), func() { b.StartFlow(xx, yy, 1e5+rng.Float64()*1e6, nil) })
+		}
+		b.Eng.RunUntil(2)
+		if b.ActiveFlows() > 0 {
+			if err := b.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d: bottleneck backend violates max-min invariants: %v", seed, err)
+			}
+		}
+		b.Eng.Run()
+		if b.ActiveFlows() != 0 {
+			t.Fatalf("seed %d: bottleneck backend stalled with %d flows", seed, b.ActiveFlows())
+		}
+	}
+}
+
+// RefillAll under a max-min backend recomputes the standing allocation
+// bit for bit: the fingerprint must not move and unchanged flows must
+// keep their completion timers (the event count stays put).
+func TestRefillAllIsANoOp(t *testing.T) {
+	tr := randomFabric(rand.New(rand.NewSource(3)))
+	s := loadFabric(tr, 3, true, nil)
+	before := s.RateFingerprint()
+	for i := 0; i < 3; i++ {
+		if _, flows := s.RefillAll(); flows != s.ActiveFlows() {
+			t.Fatalf("refill %d visited %d flows, %d active", i, flows, s.ActiveFlows())
+		}
+	}
+	if after := s.RateFingerprint(); after != before {
+		t.Fatalf("RefillAll changed rates: %#x -> %#x", before, after)
+	}
+	if err := s.VerifyError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ECMP routing: cached pair paths must be valid shortest paths, stable
+// across simulators, independent of flow order, and must match
+// topo.Route exactly on unique-path topologies.
+func TestECMPRouting(t *testing.T) {
+	g := topo.NewClos(topo.ClosConfig{Leaves: 4, ServersPerLeaf: 2, Spines: 4, ServerBps: 1e6})
+	srv := g.Servers()
+	s1, s2 := New(g), New(g)
+	seen := map[topo.LinkID]bool{}
+	for i := 0; i < len(srv); i++ {
+		for j := 0; j < len(srv); j++ {
+			if i == j {
+				continue
+			}
+			p1, m1, err := s1.routeFor(srv[i], srv[j])
+			if err != nil {
+				t.Fatalf("route %d->%d: %v", srv[i], srv[j], err)
+			}
+			p2, m2, _ := s2.routeFor(srv[i], srv[j])
+			if len(p1) != len(p2) || m1 != m2 {
+				t.Fatalf("route %d->%d not reproducible", srv[i], srv[j])
+			}
+			for k := range p1 {
+				if p1[k] != p2[k] {
+					t.Fatalf("route %d->%d differs across simulators", srv[i], srv[j])
+				}
+			}
+			// Validate the walk: consecutive links share nodes, src to dst.
+			cur := srv[i]
+			for _, id := range p1 {
+				l := g.Link(id)
+				switch cur {
+				case l.A:
+					cur = l.B
+				case l.B:
+					cur = l.A
+				default:
+					t.Fatalf("route %d->%d: disconnected walk", srv[i], srv[j])
+				}
+				seen[id] = true
+			}
+			if cur != srv[j] {
+				t.Fatalf("route %d->%d ends at %d", srv[i], srv[j], cur)
+			}
+			// Same-leaf pairs are unique-path (2 hops); cross-leaf pairs
+			// have one path per spine and must be flagged multipath.
+			if g.SameRack(srv[i], srv[j]) {
+				if m1 || len(p1) != 2 {
+					t.Fatalf("same-leaf route %d->%d: multi=%v len=%d", srv[i], srv[j], m1, len(p1))
+				}
+			} else {
+				if !m1 || len(p1) != 4 {
+					t.Fatalf("cross-leaf route %d->%d: multi=%v len=%d", srv[i], srv[j], m1, len(p1))
+				}
+			}
+		}
+	}
+	// The pair hash must actually spread load: with 4 spines and 56
+	// cross-leaf pairs, several distinct uplinks must be exercised.
+	uplinks := 0
+	for id := range seen {
+		l := g.Link(id)
+		if g.Node(l.A).Kind == topo.Switch && g.Node(l.B).Kind == topo.Switch {
+			uplinks++
+		}
+	}
+	if uplinks < 8 {
+		t.Errorf("ECMP used only %d distinct uplinks", uplinks)
+	}
+
+	// Unique-path topologies: ECMP resolves to exactly topo.Route's path.
+	tr := topo.NewTree(topo.TreeConfig{Racks: 3, ServersPerRack: 3})
+	st := New(tr)
+	tsrv := tr.Servers()
+	for i := 0; i < len(tsrv); i++ {
+		for j := 0; j < len(tsrv); j++ {
+			if i == j {
+				continue
+			}
+			want := tr.Route(tsrv[i], tsrv[j])
+			got, multi, err := st.routeFor(tsrv[i], tsrv[j])
+			if err != nil || multi || len(got) != len(want) {
+				t.Fatalf("tree route %d->%d: multi=%v err=%v", tsrv[i], tsrv[j], multi, err)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("tree route %d->%d deviates from topo.Route", tsrv[i], tsrv[j])
+				}
+			}
+		}
+	}
+	total, multi := st.ECMPPairs()
+	if total != 0 || multi != 0 {
+		t.Errorf("routeFor must not populate the pair cache (%d, %d)", total, multi)
+	}
+	st.StartFlow(tsrv[0], tsrv[1], 10, nil)
+	if total, multi = st.ECMPPairs(); total != 1 || multi != 0 {
+		t.Errorf("pair stats after one tree flow: (%d, %d)", total, multi)
+	}
+}
+
+// Flows on a multipath fabric must actually traverse ECMP-chosen paths:
+// StartFlow panics would surface here if routing refused multi-path
+// pairs the way topo.Route does.
+func TestStartFlowAcrossMultipathFabric(t *testing.T) {
+	g := topo.NewClos(topo.ClosConfig{Leaves: 2, ServersPerLeaf: 2, Spines: 2, ServerBps: 100})
+	s := New(g)
+	srv := g.Servers()
+	elapsed := s.Transfer(srv[0], srv[2], 100) // cross-leaf
+	if elapsed <= 0 {
+		t.Fatalf("elapsed %v", elapsed)
+	}
+	if _, multi := s.ECMPPairs(); multi != 1 {
+		t.Errorf("cross-leaf pair not counted as multipath")
+	}
+}

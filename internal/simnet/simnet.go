@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"netconstant/internal/des"
+	"netconstant/internal/mat"
 	"netconstant/internal/stats"
 	"netconstant/internal/topo"
 )
@@ -68,10 +69,13 @@ type Sim struct {
 	// flows and never mutated.
 	routes map[int64]routeEntry
 
-	// globalFill selects the pre-optimization allocator that refills the
-	// whole network on every event; kept as an ablation baseline for
-	// benchmarks and the differential test.
-	globalFill bool
+	// alloc selects the bandwidth-sharing backend; see AllocatorKind.
+	alloc AllocatorKind
+	// sharded selects component-restricted filling: each connected
+	// component of the dirty subgraph fills independently (possibly in
+	// parallel on the mat worker pool). Off, the whole dirty range fills
+	// jointly — the pre-sharding allocator, kept as an ablation baseline.
+	sharded bool
 	// verifyGlobal, when set, re-derives every active flow's rate with a
 	// fresh whole-network fill after each incremental recompute and
 	// records the first bitwise mismatch in verifyErr.
@@ -84,11 +88,29 @@ type Sim struct {
 	// fill slices and is always written before it is read.
 	dirtyFlows []*Flow
 	dirtyLinks []topo.LinkID
+	comps      []compSpan // connected components of the dirty subgraph
+	allSeeds   []topo.LinkID
 	epoch      int64
 	linkStamp  []int64   // per-link collectDirty epoch
 	linkSlot   []int32   // dirty link -> index into fill slices
 	fillCap    []float64 // residual capacity per dirty link
 	fillUnfix  []int32   // unfixed-flow count per dirty link
+
+	// ECMP routing scratch (see ecmp.go) and cached-pair statistics.
+	ecmpDist   []int32
+	ecmpQueue  []int32
+	ecmpCands  []topo.IncidentLink
+	multiPairs int
+}
+
+// compSpan addresses one connected component of the dirty subgraph as
+// half-open index ranges into dirtyLinks and dirtyFlows. collectDirty
+// discovers components seed by seed, so each component's links and flows
+// occupy contiguous ranges; the spans are the index-addressed result
+// slots the parallel fill shards write into.
+type compSpan struct {
+	linkLo, linkHi int
+	flowLo, flowHi int
 }
 
 type routeEntry struct {
@@ -108,23 +130,33 @@ func SetDefaultGlobalFill(on bool) bool { return defaultGlobalFill.Swap(on) }
 
 // New creates a simulator for the given topology with its own event engine.
 func New(t *topo.Topology) *Sim {
+	alloc := AllocMaxMin
+	if defaultGlobalFill.Load() {
+		alloc = AllocGlobalMaxMin
+	}
 	return &Sim{
-		Topo:       t,
-		Eng:        des.NewEngine(),
-		active:     make(map[int64]*Flow),
-		linkFlows:  make([][]*Flow, t.NumLinks()),
-		linkStamp:  make([]int64, t.NumLinks()),
-		linkSlot:   make([]int32, t.NumLinks()),
-		routes:     make(map[int64]routeEntry),
-		globalFill: defaultGlobalFill.Load(),
+		Topo:      t,
+		Eng:       des.NewEngine(),
+		active:    make(map[int64]*Flow),
+		linkFlows: make([][]*Flow, t.NumLinks()),
+		linkStamp: make([]int64, t.NumLinks()),
+		linkSlot:  make([]int32, t.NumLinks()),
+		routes:    make(map[int64]routeEntry),
+		alloc:     alloc,
+		sharded:   true,
 	}
 }
 
 // SetGlobalFill selects this simulator's allocator (true = whole-network
-// refill on every event) and returns the previous setting.
+// refill on every event) and returns the previous setting. It is the
+// boolean legacy face of SetAllocator, which see for the full menu.
 func (s *Sim) SetGlobalFill(on bool) bool {
-	prev := s.globalFill
-	s.globalFill = on
+	prev := s.alloc == AllocGlobalMaxMin
+	if on {
+		s.alloc = AllocGlobalMaxMin
+	} else {
+		s.alloc = AllocMaxMin
+	}
 	return prev
 }
 
@@ -145,9 +177,16 @@ func (s *Sim) StartFlow(src, dst int, bytes float64, done func(at float64)) *Flo
 	key := int64(src)<<32 | int64(int32(dst))
 	re, ok := s.routes[key]
 	if !ok {
-		re.path = s.Topo.Route(src, dst)
+		path, multi, err := s.routeFor(src, dst)
+		if err != nil {
+			panic(err)
+		}
+		re.path = path
 		re.latency = s.Topo.PathLatency(re.path)
 		s.routes[key] = re
+		if multi {
+			s.multiPairs++
+		}
 	}
 	f := &Flow{
 		ID:    s.nextID,
@@ -227,55 +266,75 @@ func (s *Sim) complete(f *Flow) {
 // stay byte-identical to the global recompute (asserted by the
 // differential tests via verifyGlobal).
 func (s *Sim) recompute(seeds []topo.LinkID) {
-	if s.globalFill {
+	if s.alloc == AllocGlobalMaxMin {
 		s.recomputeGlobal()
 		return
 	}
 	s.collectDirty(seeds)
 	s.fillDirty()
 	s.commitDirty()
-	if s.verifyGlobal && s.verifyErr == nil {
+	if s.verifyGlobal && s.verifyErr == nil && s.alloc == AllocMaxMin {
 		s.verifyErr = s.verifyAgainstGlobal()
 	}
 }
 
 // collectDirty gathers the connected component(s) of the seed links into
 // s.dirtyLinks / s.dirtyFlows by breadth-first expansion over shared
-// links. The common case — a background flow arriving on an otherwise
-// quiet leaf path — visits O(path length) state.
+// links, recording each component's index span in s.comps. Expanding one
+// seed to exhaustion before starting the next keeps every component
+// contiguous; a seed already absorbed by an earlier component is skipped
+// by its epoch stamp. The common case — a background flow arriving on an
+// otherwise quiet leaf path — visits O(path length) state.
 func (s *Sim) collectDirty(seeds []topo.LinkID) {
 	s.dirtyFlows = s.dirtyFlows[:0]
 	s.dirtyLinks = s.dirtyLinks[:0]
+	s.comps = s.comps[:0]
 	s.epoch++
 	ep := s.epoch
-	for _, l := range seeds {
-		s.ensureLink(l)
-		if s.linkStamp[l] != ep && len(s.linkFlows[l]) > 0 {
-			s.linkStamp[l] = ep
-			s.dirtyLinks = append(s.dirtyLinks, l)
+	for _, seed := range seeds {
+		s.ensureLink(seed)
+		if s.linkStamp[seed] == ep || len(s.linkFlows[seed]) == 0 {
+			continue
 		}
-	}
-	for i := 0; i < len(s.dirtyLinks); i++ {
-		for _, f := range s.linkFlows[s.dirtyLinks[i]] {
-			if f.visited == ep {
-				continue
-			}
-			f.visited = ep
-			s.dirtyFlows = append(s.dirtyFlows, f)
-			for _, l := range f.path {
-				if s.linkStamp[l] != ep {
-					s.linkStamp[l] = ep
-					s.dirtyLinks = append(s.dirtyLinks, l)
+		sp := compSpan{linkLo: len(s.dirtyLinks), flowLo: len(s.dirtyFlows)}
+		s.linkStamp[seed] = ep
+		s.dirtyLinks = append(s.dirtyLinks, seed)
+		for i := sp.linkLo; i < len(s.dirtyLinks); i++ {
+			for _, f := range s.linkFlows[s.dirtyLinks[i]] {
+				if f.visited == ep {
+					continue
+				}
+				f.visited = ep
+				s.dirtyFlows = append(s.dirtyFlows, f)
+				for _, l := range f.path {
+					if s.linkStamp[l] != ep {
+						s.linkStamp[l] = ep
+						s.dirtyLinks = append(s.dirtyLinks, l)
+					}
 				}
 			}
 		}
+		sp.linkHi = len(s.dirtyLinks)
+		sp.flowHi = len(s.dirtyFlows)
+		s.comps = append(s.comps, sp)
 	}
 }
 
-// fillDirty runs progressive filling restricted to the dirty component,
-// leaving each dirty flow's share in f.newRate. Bottleneck ties are
-// broken by the smallest link ID so the result is independent of map
-// iteration order.
+// shardParMinFlows gates parallel dispatch of component fills: below this
+// many dirty flows the fill is too cheap to amortize handing shards to
+// the worker pool.
+const shardParMinFlows = 64
+
+// fillDirty computes each dirty flow's share into f.newRate. The prepass
+// seeds the fill state (residual capacity, unfixed count, slot index) for
+// every dirty link globally; the spans in s.comps then address disjoint
+// ranges of that state, so the per-component fills are independent and —
+// when there are enough components and flows to pay for dispatch — run
+// concurrently on the mat worker pool. Per-component filling performs
+// exactly the floating-point operations a joint fill performs on that
+// component (a joint fill's selections restricted to one component occur
+// in that component's local-min order and touch only its state), so the
+// result is byte-identical at any worker count, sharded or not.
 func (s *Sim) fillDirty() {
 	s.fillCap = s.fillCap[:0]
 	s.fillUnfix = s.fillUnfix[:0]
@@ -287,17 +346,51 @@ func (s *Sim) fillDirty() {
 	for _, f := range s.dirtyFlows {
 		f.unfixed = true
 	}
-	remaining := len(s.dirtyFlows)
+	if !s.sharded {
+		// Ablation baseline: one joint fill over the whole dirty range,
+		// exactly the pre-sharding allocator. Every bottleneck round
+		// rescans all dirty links, so a refill with C components costs
+		// roughly C times the sharded scan volume.
+		s.fillSpan(compSpan{0, len(s.dirtyLinks), 0, len(s.dirtyFlows)})
+		return
+	}
+	if len(s.comps) >= 2 && len(s.dirtyFlows) >= shardParMinFlows && mat.Parallelism() > 1 {
+		mat.ParallelShards(len(s.comps), func(c int) { s.fillSpan(s.comps[c]) })
+		return
+	}
+	for _, sp := range s.comps {
+		s.fillSpan(sp)
+	}
+}
+
+// fillSpan fills one component span with the selected backend.
+func (s *Sim) fillSpan(sp compSpan) {
+	if s.alloc == AllocBottleneck {
+		s.fillSpanBottleneck(sp)
+		return
+	}
+	s.fillSpanMaxMin(sp)
+}
+
+// fillSpanMaxMin runs progressive filling restricted to one component
+// span, leaving each flow's share in f.newRate. Bottleneck ties are
+// broken by the smallest link ID so the result is independent of
+// discovery order. Concurrent spans are safe: a component's flows, their
+// paths, and the span's fill slots are disjoint from every other span's
+// by construction.
+func (s *Sim) fillSpanMaxMin(sp compSpan) {
+	remaining := sp.flowHi - sp.flowLo
 	for remaining > 0 {
-		// Bottleneck: minimum fair share among dirty links that still
+		// Bottleneck: minimum fair share among the span's links that still
 		// carry unfixed flows; ties go to the smallest link ID.
 		best := -1
 		bestLink := topo.LinkID(-1)
 		minShare := math.Inf(1)
-		for k, l := range s.dirtyLinks {
+		for k := sp.linkLo; k < sp.linkHi; k++ {
 			if s.fillUnfix[k] == 0 {
 				continue
 			}
+			l := s.dirtyLinks[k]
 			share := s.fillCap[k] / float64(s.fillUnfix[k])
 			//netlint:allow floatsafe exact equality is the smallest-link-ID tie-break; shares of equal links are bit-identical quotients and capacities are validated finite at AddLink
 			if share < minShare || (share == minShare && l < bestLink) {
@@ -309,8 +402,8 @@ func (s *Sim) fillDirty() {
 		if best < 0 {
 			// No capacitated links left (cannot happen: every flow crosses
 			// at least one link), but guard against an infinite loop.
-			for _, f := range s.dirtyFlows {
-				if f.unfixed {
+			for i := sp.flowLo; i < sp.flowHi; i++ {
+				if f := s.dirtyFlows[i]; f.unfixed {
 					f.newRate = math.Inf(1)
 					f.unfixed = false
 				}

@@ -16,4 +16,13 @@ var (
 	ErrBadCapacity = errors.New("topo: non-positive capacity")
 	// ErrNoPath: the endpoints are disconnected.
 	ErrNoPath = errors.New("topo: no path between nodes")
+	// ErrMultiPath: Route/RouteE was asked for "the" shortest path between
+	// a pair that has several equal-cost shortest paths (Clos and fat-tree
+	// fabrics). The single-route assumption does not hold there; use an
+	// ECMP-aware router (simnet resolves multi-path pairs with a pure hash
+	// over the pair ID) instead of silently picking an arbitrary path.
+	ErrMultiPath = errors.New("topo: multiple equal-cost shortest paths")
+	// ErrBadShape: a topology builder (NewClosE, NewFatTreeE) was given an
+	// invalid shape parameter.
+	ErrBadShape = errors.New("topo: invalid topology shape")
 )

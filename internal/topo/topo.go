@@ -39,14 +39,18 @@ type Link struct {
 
 // Topology is an undirected graph of nodes and capacitated links.
 type Topology struct {
-	nodes []Node
-	links []Link
-	adj   [][]adjEntry // node -> incident links
+	nodes   []Node
+	links   []Link
+	adj     [][]IncidentLink // node -> incident links
+	servers []int            // server node IDs, maintained by AddNode
 }
 
-type adjEntry struct {
-	link LinkID
-	peer int
+// IncidentLink is one adjacency entry: a link and the neighbor it leads
+// to. Incident exposes these for external traversals (ECMP routing in
+// simnet walks the shortest-path DAG through them).
+type IncidentLink struct {
+	Link LinkID
+	Peer int
 }
 
 // New creates an empty topology.
@@ -57,6 +61,9 @@ func (t *Topology) AddNode(kind NodeKind, rack int) int {
 	id := len(t.nodes)
 	t.nodes = append(t.nodes, Node{ID: id, Kind: kind, Rack: rack})
 	t.adj = append(t.adj, nil)
+	if kind == Server {
+		t.servers = append(t.servers, id)
+	}
 	return id
 }
 
@@ -85,8 +92,8 @@ func (t *Topology) AddLinkE(a, b int, capacity, latency float64) (LinkID, error)
 	}
 	id := LinkID(len(t.links))
 	t.links = append(t.links, Link{ID: id, A: a, B: b, Capacity: capacity, Latency: latency})
-	t.adj[a] = append(t.adj[a], adjEntry{link: id, peer: b})
-	t.adj[b] = append(t.adj[b], adjEntry{link: id, peer: a})
+	t.adj[a] = append(t.adj[a], IncidentLink{Link: id, Peer: b})
+	t.adj[b] = append(t.adj[b], IncidentLink{Link: id, Peer: a})
 	return id, nil
 }
 
@@ -102,21 +109,25 @@ func (t *Topology) Node(id int) Node { return t.nodes[id] }
 // Link returns link metadata.
 func (t *Topology) Link(id LinkID) Link { return t.links[id] }
 
-// Servers returns the IDs of all server nodes in creation order.
-func (t *Topology) Servers() []int {
-	var out []int
-	for _, n := range t.nodes {
-		if n.Kind == Server {
-			out = append(out, n.ID)
-		}
-	}
-	return out
-}
+// Servers returns the IDs of all server nodes in creation order. The
+// slice is the topology's own cached list — maintained by AddNode, so no
+// per-call node scan — and must not be modified by the caller. (At 131k
+// nodes the old rescan-per-call implementation was a measurable hot spot
+// in placement and benchmark loops.)
+func (t *Topology) Servers() []int { return t.servers }
 
-// Route returns the sequence of link IDs of a shortest (hop-count) path
-// from a to b, found by breadth-first search. On trees the path is unique.
-// It returns nil for a == b and panics on bad endpoints or a disconnected
-// pair; use RouteE when either can come from external input.
+// Incident returns the links incident to node id in creation order. The
+// slice is the topology's own adjacency list; callers must not modify it.
+func (t *Topology) Incident(id int) []IncidentLink { return t.adj[id] }
+
+// Route returns the sequence of link IDs of THE shortest (hop-count) path
+// from a to b, found by breadth-first search. It is only defined where
+// that path is unique (trees, and same-switch pairs of richer fabrics);
+// on a pair with several equal-cost shortest paths it panics with
+// ErrMultiPath instead of silently picking one — multi-path fabrics must
+// be routed by an ECMP-aware router (see simnet). It returns nil for
+// a == b and also panics on bad endpoints or a disconnected pair; use
+// RouteE when any of those can come from external input.
 func (t *Topology) Route(a, b int) []LinkID {
 	path, err := t.RouteE(a, b)
 	if err != nil {
@@ -125,8 +136,9 @@ func (t *Topology) Route(a, b int) []LinkID {
 	return path
 }
 
-// RouteE is the fallible variant of Route. Errors wrap ErrNodeRange or
-// ErrNoPath.
+// RouteE is the fallible variant of Route. Errors wrap ErrNodeRange,
+// ErrNoPath, or — when the pair has more than one equal-cost shortest
+// path, so "the" route is ill-defined — ErrMultiPath.
 func (t *Topology) RouteE(a, b int) ([]LinkID, error) {
 	if a == b {
 		return nil, nil
@@ -134,30 +146,48 @@ func (t *Topology) RouteE(a, b int) ([]LinkID, error) {
 	if a < 0 || a >= len(t.nodes) || b < 0 || b >= len(t.nodes) {
 		return nil, fmt.Errorf("%w: route endpoints (%d,%d), %d nodes", ErrNodeRange, a, b, len(t.nodes))
 	}
-	prev := make([]adjEntry, len(t.nodes))
-	seen := make([]bool, len(t.nodes))
-	seen[a] = true
+	// BFS with shortest-path counting (saturated at 2): nodes leave the
+	// queue in nondecreasing distance, so by the time cur is dequeued all
+	// its shortest-path predecessors have added their counts, and once
+	// dist[cur] reaches dist[b] the count at b is final.
+	prev := make([]IncidentLink, len(t.nodes))
+	dist := make([]int32, len(t.nodes))
+	npaths := make([]uint8, len(t.nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[a] = 0
+	npaths[a] = 1
 	queue := []int{a}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if cur == b {
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		if dist[b] >= 0 && dist[cur] >= dist[b] {
 			break
 		}
 		for _, e := range t.adj[cur] {
-			if !seen[e.peer] {
-				seen[e.peer] = true
-				prev[e.peer] = adjEntry{link: e.link, peer: cur}
-				queue = append(queue, e.peer)
+			switch {
+			case dist[e.Peer] < 0:
+				dist[e.Peer] = dist[cur] + 1
+				npaths[e.Peer] = npaths[cur]
+				prev[e.Peer] = IncidentLink{Link: e.Link, Peer: cur}
+				queue = append(queue, e.Peer)
+			case dist[e.Peer] == dist[cur]+1:
+				// Another shortest-path predecessor of e.Peer.
+				if npaths[e.Peer] += npaths[cur]; npaths[e.Peer] > 2 {
+					npaths[e.Peer] = 2
+				}
 			}
 		}
 	}
-	if !seen[b] {
+	if dist[b] < 0 {
 		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, a, b)
 	}
+	if npaths[b] > 1 {
+		return nil, fmt.Errorf("%w: from %d to %d (%d hops)", ErrMultiPath, a, b, dist[b])
+	}
 	var rev []LinkID
-	for cur := b; cur != a; cur = prev[cur].peer {
-		rev = append(rev, prev[cur].link)
+	for cur := b; cur != a; cur = prev[cur].Peer {
+		rev = append(rev, prev[cur].Link)
 	}
 	// Reverse into forward order.
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
@@ -248,12 +278,24 @@ type FatTreeConfig struct {
 	HopLatency float64
 }
 
-// NewFatTree builds a k-ary fat-tree (Al-Fahres et al. style), provided as
-// an extension topology for ablation experiments. Note: Route uses BFS, so
-// with multiple equal-cost paths one deterministic path is selected.
+// NewFatTree builds a k-ary fat-tree (Al-Fares et al. style). Inter-pod
+// (and some intra-pod) pairs have many equal-cost shortest paths, so
+// Route/RouteE fail with ErrMultiPath on them; route such fabrics through
+// simnet's ECMP resolver. It panics on an invalid arity; use NewFatTreeE
+// when the shape comes from external input.
 func NewFatTree(cfg FatTreeConfig) *Topology {
+	t, err := NewFatTreeE(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewFatTreeE is the fallible variant of NewFatTree. Errors wrap
+// ErrBadShape.
+func NewFatTreeE(cfg FatTreeConfig) (*Topology, error) {
 	if cfg.K < 2 || cfg.K%2 != 0 {
-		panic("topo: fat tree arity must be even and >= 2")
+		return nil, fmt.Errorf("%w: fat-tree arity must be even and >= 2, got %d", ErrBadShape, cfg.K)
 	}
 	if cfg.LinkBps == 0 {
 		cfg.LinkBps = 1e9 / 8
@@ -296,5 +338,5 @@ func NewFatTree(cfg FatTreeConfig) *Topology {
 			}
 		}
 	}
-	return t
+	return t, nil
 }

@@ -146,17 +146,21 @@ func TestFatTree(t *testing.T) {
 		t.Fatalf("servers %d", len(ft.Servers()))
 	}
 	srv := ft.Servers()
-	// Any two servers must be connected.
-	p := ft.Route(srv[0], srv[15])
-	if len(p) == 0 {
-		t.Fatal("no fat-tree route")
+	// Cross-pod pairs have (k/2)² equal-cost shortest paths; the
+	// single-route API must refuse them with the typed error instead of
+	// silently picking one.
+	if _, err := ft.RouteE(srv[0], srv[15]); !errors.Is(err, ErrMultiPath) {
+		t.Errorf("cross-pod route err = %v, want ErrMultiPath", err)
 	}
-	// Same-edge servers: 2 hops.
+	// Same-edge servers: a unique 2-hop path.
 	if got := len(ft.Route(srv[0], srv[1])); got != 2 {
 		t.Errorf("same-edge path %d", got)
 	}
 	mustPanic(t, func() { NewFatTree(FatTreeConfig{K: 3}) })
 	mustPanic(t, func() { NewFatTree(FatTreeConfig{K: 0}) })
+	if _, err := NewFatTreeE(FatTreeConfig{K: 5}); !errors.Is(err, ErrBadShape) {
+		t.Errorf("odd arity err = %v, want ErrBadShape", err)
+	}
 }
 
 func TestTreeRackAssignment(t *testing.T) {
