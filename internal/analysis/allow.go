@@ -32,8 +32,10 @@ type allowKey struct {
 // collectAllows scans the comment maps of files for AllowPrefix comments.
 // known maps valid analyzer names; an allow naming anything else, or
 // lacking a reason, is returned as a diagnostic instead of a suppression.
-func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (map[allowKey]bool, []Diagnostic) {
-	allows := map[allowKey]bool{}
+// The map value is the comment's position, so an allow that suppresses
+// nothing can be reported where it stands.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (map[allowKey]token.Pos, []Diagnostic) {
+	allows := map[allowKey]token.Pos{}
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -72,7 +74,7 @@ func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+				allows[allowKey{pos.Filename, pos.Line, fields[0]}] = c.Pos()
 			}
 		}
 	}
@@ -80,19 +82,26 @@ func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool
 }
 
 // filterAllowed drops diagnostics covered by an allow on the same line or
-// the line above.
-func filterAllowed(fset *token.FileSet, diags []Diagnostic, allows map[allowKey]bool) []Diagnostic {
+// the line above, and reports which allows earned their keep.
+func filterAllowed(fset *token.FileSet, diags []Diagnostic, allows map[allowKey]token.Pos) ([]Diagnostic, map[allowKey]bool) {
+	used := map[allowKey]bool{}
 	if len(allows) == 0 {
-		return diags
+		return diags, used
 	}
 	kept := diags[:0]
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
-		if allows[allowKey{pos.Filename, pos.Line, d.Analyzer}] ||
-			allows[allowKey{pos.Filename, pos.Line - 1, d.Analyzer}] {
+		same := allowKey{pos.Filename, pos.Line, d.Analyzer}
+		above := allowKey{pos.Filename, pos.Line - 1, d.Analyzer}
+		if _, ok := allows[same]; ok {
+			used[same] = true
+			continue
+		}
+		if _, ok := allows[above]; ok {
+			used[above] = true
 			continue
 		}
 		kept = append(kept, d)
 	}
-	return kept
+	return kept, used
 }

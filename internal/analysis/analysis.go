@@ -28,7 +28,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 )
 
 // An Analyzer describes one netlint check.
@@ -50,6 +49,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts       *factStore
 	diagnostics []Diagnostic
 }
 
@@ -72,36 +72,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Run applies each analyzer to pkg and returns the surviving diagnostics:
 // findings suppressed by a well-formed `//netlint:allow <analyzer> <reason>`
 // comment (same line or the line immediately above) are dropped, and
-// malformed or unknown-analyzer allow comments are themselves reported as
-// AllowAnalyzerName findings. Diagnostics come back sorted by position.
+// malformed, unknown-analyzer, or nothing-suppressing allow comments are
+// themselves reported as AllowAnalyzerName findings. Diagnostics come back
+// sorted by position.
+//
+// Run analyzes pkg in isolation with a throwaway fact store; use a
+// Session to thread facts across a dependency-ordered package sequence.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
-		}
-		diags = append(diags, pass.diagnostics...)
-	}
-	// An allow may name any analyzer in the suite, not just the ones in
-	// this run — running a single analyzer (as the fixture tests do) must
-	// not reclassify other analyzers' suppressions as unknown names.
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range All() {
-		known[a.Name] = true
-	}
-	for _, a := range analyzers {
-		known[a.Name] = true
-	}
-	allows, bad := collectAllows(pkg.Fset, pkg.Files, known)
-	diags = filterAllowed(pkg.Fset, diags, allows)
-	diags = append(diags, bad...)
-	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, nil
+	return runWithFacts(pkg, analyzers, newFactStore())
 }

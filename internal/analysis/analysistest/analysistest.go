@@ -38,31 +38,46 @@ var (
 // suppressed analyzer and a control analyzer in the same run.
 func Run(t *testing.T, testdata, pkgpath string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
+	RunDeps(t, testdata, []string{pkgpath}, analyzers...)
+}
+
+// RunDeps checks the analyzers against a dependency-ordered chain of
+// fixture packages, threading one fact Session through every pass the
+// way cmd/netlint does over the real module: facts exported while
+// analyzing an earlier fixture are visible to later ones, and a fixture
+// may import any fixture that precedes it in pkgpaths (the Loader's
+// importer cache resolves the fake import paths). `// want` expectations
+// are checked in every fixture of the chain.
+func RunDeps(t *testing.T, testdata string, pkgpaths []string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
 	loaderMu.Lock()
 	defer loaderMu.Unlock()
 
-	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
-	pkg, err := loader.CheckDir(dir, pkgpath)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", pkgpath, err)
-	}
-	diags, err := analysis.Run(pkg, analyzers)
-	if err != nil {
-		t.Fatalf("running analyzers on %s: %v", pkgpath, err)
-	}
-
-	wants := collectWants(t, pkg)
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		key := lineKey{pos.Filename, pos.Line}
-		if !matchWant(wants[key], d.Message) {
-			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+	session := analysis.NewSession()
+	for _, pkgpath := range pkgpaths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+		pkg, err := loader.CheckDir(dir, pkgpath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgpath, err)
 		}
-	}
-	for key, ws := range wants {
-		for _, w := range ws {
-			if !w.matched {
-				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re.String())
+		diags, err := session.Run(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("running analyzers on %s: %v", pkgpath, err)
+		}
+
+		wants := collectWants(t, pkg)
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			key := lineKey{pos.Filename, pos.Line}
+			if !matchWant(wants[key], d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+			}
+		}
+		for key, ws := range wants {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re.String())
+				}
 			}
 		}
 	}

@@ -1,6 +1,12 @@
 package analysis
 
-// All returns the netlint suite in reporting order.
+// All returns the netlint suite in reporting order. Run the suite over
+// packages in dependency order through one Session: cancelflow, hotalloc
+// and journalsafe export facts about a package's functions that their
+// downstream checks consume.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Floatsafe, Checkederr, Goroutinepurity}
+	return []*Analyzer{
+		Determinism, Floatsafe, Checkederr, Goroutinepurity,
+		Cancelflow, Layering, Hotalloc, Journalsafe, Exitcode,
+	}
 }

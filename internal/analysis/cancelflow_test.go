@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"netconstant/internal/analysis"
+	"netconstant/internal/analysis/analysistest"
+)
+
+// The fixture lives under a restricted path (internal/exp), so all three
+// rules fire: fabricated roots, dropped handles, non-polling loops.
+func TestCancelflow(t *testing.T) {
+	analysistest.Run(t, "testdata", "cancelflow/internal/exp", analysis.Cancelflow)
+}
+
+// The three-package chain: src.Wait polls directly, mid.Pump inherits
+// the fact by calling it, and exp's unbounded loops are judged by facts
+// imported from two hops away. Only the chain run in dependency order
+// through one Session makes the clean loop clean.
+func TestCancelflowFactChain(t *testing.T) {
+	analysistest.RunDeps(t, "testdata", []string{
+		"cancelchain/internal/src",
+		"cancelchain/internal/mid",
+		"cancelchain/internal/exp",
+	}, analysis.Cancelflow)
+}

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"netconstant/internal/analysis"
+	"netconstant/internal/analysis/analysistest"
+)
+
+// The cli fixture supplies the sanctioned vocabulary (matched by package
+// path), lib exercises the no-exits-in-libraries rule, and cmd/tool
+// exits every way a command can: bare codes and log.Fatal and panic are
+// findings, vocabulary constants and the run() idiom are clean.
+func TestExitcode(t *testing.T) {
+	analysistest.RunDeps(t, "testdata", []string{
+		"exitcode/internal/cli",
+		"exitcode/internal/lib",
+		"exitcode/cmd/tool",
+	}, analysis.Exitcode)
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"netconstant/internal/analysis"
+	"netconstant/internal/analysis/analysistest"
+)
+
+// kern defines one annotated (fact-carrying) and one unannotated kernel;
+// user's annotated step exercises every banned construct, the clean
+// arena idioms, the cross-package fact check, and one allow.
+func TestHotalloc(t *testing.T) {
+	analysistest.RunDeps(t, "testdata", []string{
+		"hotalloc/internal/kern",
+		"hotalloc/internal/user",
+	}, analysis.Hotalloc)
+}

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Journalsafe vets every type that reaches a gob journal. The resume
+// guarantee (DESIGN.md §7) journals finished sweep points and figure
+// tables with encoding/gob and replays them on restart; gob has two
+// failure modes that compile fine and corrupt that guarantee quietly:
+//
+//   - unexported struct fields are silently skipped, so a resumed run
+//     restores zero values where the original run had data;
+//   - chan and func fields make Encode fail at runtime — in this repo
+//     that means mid-campaign, hours in;
+//   - map fields encode in random iteration order, so the journal bytes
+//     for identical results differ run to run and byte-level journal
+//     comparison (the cheapest corruption check) is impossible.
+//
+// The analyzer finds the journaled root types by following values into
+// gob, not by annotation. A direct `gob.NewEncoder(w).Encode(v)` (or
+// Decode) roots v's static type. A function that forwards a parameter
+// into a sink — exp's gobEncode(v any) wrapper, the generic
+// sweepPoints whose pts slots are journaled per point — becomes a sink
+// in that parameter position itself, computed by intra-package fixpoint
+// and exported as a GobSinkFact so cross-package callers are checked
+// too. At every sink call site the non-parameter argument's type is the
+// journaled root; the type and everything reachable from it through
+// pointers, slices, arrays and struct fields must be stable: exported
+// fields only, no maps, no chans, no funcs. Types providing their own
+// encoding (GobEncode/MarshalBinary) are opaque and trusted.
+//
+// Type-parameter roots (inside a generic sink like sweepPoints) are
+// skipped where unresolved; the concrete element types are checked at
+// the generic's own call sites, where the argument types are concrete.
+var Journalsafe = &Analyzer{
+	Name: "journalsafe",
+	Doc:  "types reachable from gob journal writes must be gob-stable: exported fields only, no map/chan/func fields",
+	Run:  runJournalsafe,
+}
+
+// GobSinkFact marks a function that forwards some of its parameters into
+// a gob Encode/Decode, directly or transitively. Params lists the
+// 0-based indices of the forwarded parameters.
+type GobSinkFact struct {
+	Params []int
+}
+
+// AFact marks GobSinkFact as a Fact.
+func (*GobSinkFact) AFact() {}
+
+func runJournalsafe(pass *Pass) error {
+	c := &journalChecker{
+		pass:  pass,
+		sinks: map[*types.Func]map[int]bool{},
+		decls: map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.decls[obj] = fd
+			}
+		}
+	}
+	// Fixpoint: forwarding a parameter into a known sink makes the
+	// forwarder a sink, which may reveal further forwarders.
+	for changed := true; changed; {
+		changed = false
+		for obj, fd := range c.decls {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, argIdx := range c.sinkArgIndices(call) {
+					if argIdx >= len(call.Args) {
+						continue
+					}
+					pi := c.paramIndexOf(fd, call.Args[argIdx])
+					if pi < 0 {
+						continue
+					}
+					if c.sinks[obj] == nil {
+						c.sinks[obj] = map[int]bool{}
+					}
+					if !c.sinks[obj][pi] {
+						c.sinks[obj][pi] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	for obj, params := range c.sinks {
+		idx := make([]int, 0, len(params))
+		for i := range params {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		pass.ExportObjectFact(obj, &GobSinkFact{Params: idx})
+	}
+	// Second walk: every sink-position argument that is NOT a forwarded
+	// parameter roots a journaled type — check it.
+	for _, fd := range c.decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, argIdx := range c.sinkArgIndices(call) {
+				if argIdx >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[argIdx]
+				if c.paramIndexOf(fd, arg) >= 0 {
+					continue // checked at this function's own call sites
+				}
+				c.checkRoot(arg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type journalChecker struct {
+	pass  *Pass
+	sinks map[*types.Func]map[int]bool
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// sinkArgIndices returns the argument positions of call whose values
+// reach a gob journal: position 0 for a direct (*gob.Encoder).Encode /
+// (*gob.Decoder).Decode call, and the sink parameter positions of a
+// callee known — locally or by imported fact — to forward them.
+func (c *journalChecker) sinkArgIndices(call *ast.CallExpr) []int {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+		(sel.Sel.Name == "Encode" || sel.Sel.Name == "Decode") {
+		if obj, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			obj.Pkg() != nil && obj.Pkg().Path() == "encoding/gob" {
+			return []int{0}
+		}
+	}
+	var obj *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj, _ = c.pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		obj, _ = c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	}
+	if obj == nil {
+		return nil
+	}
+	if params, ok := c.sinks[obj]; ok {
+		idx := make([]int, 0, len(params))
+		for i := range params {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		return idx
+	}
+	var fact GobSinkFact
+	if c.pass.ImportObjectFact(obj, &fact) {
+		return fact.Params
+	}
+	return nil
+}
+
+// paramIndexOf reports which parameter of fd the expression e is rooted
+// in (unwrapping &x, x[i], x[a:b] and parentheses), or -1.
+func (c *journalChecker) paramIndexOf(fd *ast.FuncDecl, e ast.Expr) int {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return -1
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.Uses[x]
+			if obj == nil {
+				return -1
+			}
+			i := 0
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if c.pass.TypesInfo.Defs[name] == obj {
+						return i
+					}
+					i++
+				}
+				if len(field.Names) == 0 {
+					i++
+				}
+			}
+			return -1
+		default:
+			return -1
+		}
+	}
+}
+
+// checkRoot verifies the gob-stability of the type journaled by arg,
+// reporting at arg's position.
+func (c *journalChecker) checkRoot(arg ast.Expr) {
+	t := c.pass.TypesInfo.TypeOf(arg)
+	if t == nil {
+		return
+	}
+	w := &stabilityWalk{c: c, pos: arg.Pos(), root: t.String(), seen: map[types.Type]bool{}}
+	w.walk(t, "")
+}
+
+type stabilityWalk struct {
+	c    *journalChecker
+	pos  token.Pos
+	root string
+	seen map[types.Type]bool
+}
+
+func (w *stabilityWalk) reportf(path, format string, args ...any) {
+	at := w.root
+	if path != "" {
+		at += " (field " + path + ")"
+	}
+	w.c.pass.Reportf(w.pos, "journaled type %s "+format, append([]any{at}, args...)...)
+}
+
+// hasOwnEncoding reports whether t (or *t) provides GobEncode or
+// MarshalBinary: such types control their own wire form and their
+// unexported internals are fine.
+func hasOwnEncoding(t types.Type) bool {
+	for _, name := range []string{"GobEncode", "MarshalBinary"} {
+		for _, recv := range []types.Type{t, types.NewPointer(t)} {
+			if m, _, _ := types.LookupFieldOrMethod(recv, true, nil, name); m != nil {
+				if _, ok := m.(*types.Func); ok {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (w *stabilityWalk) walk(t types.Type, path string) {
+	if w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		w.walk(u.Elem(), path)
+	case *types.Slice:
+		w.walk(u.Elem(), path)
+	case *types.Array:
+		w.walk(u.Elem(), path)
+	case *types.Map:
+		w.reportf(path, "contains a map (%s): gob encodes maps in random iteration order, so journal bytes are irreproducible — journal a sorted slice instead", t.String())
+	case *types.Chan:
+		w.reportf(path, "contains a chan (%s): gob.Encode fails on it at runtime, mid-campaign", t.String())
+	case *types.Signature:
+		w.reportf(path, "contains a func value (%s): gob.Encode fails on it at runtime, mid-campaign", t.String())
+	case *types.Struct:
+		if hasOwnEncoding(t) {
+			return
+		}
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			fpath := f.Name()
+			if path != "" {
+				fpath = path + "." + f.Name()
+			}
+			if !f.Exported() {
+				w.reportf(fpath, "has unexported field %s: gob silently drops it, so a resumed run restores a zero value", f.Name())
+				continue
+			}
+			w.walk(f.Type(), fpath)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"netconstant/internal/analysis"
+	"netconstant/internal/analysis/analysistest"
+)
+
+// Package a roots journaled types through a forwarding wrapper (the
+// fixpoint promotes EncodeAny to a sink); package b reaches the journal
+// only through a's exported GobSinkFact.
+func TestJournalsafe(t *testing.T) {
+	analysistest.RunDeps(t, "testdata", []string{
+		"journalsafe/internal/a",
+		"journalsafe/internal/b",
+	}, analysis.Journalsafe)
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"netconstant/internal/analysis"
+	"netconstant/internal/analysis/analysistest"
+)
+
+// The fixture DAG reuses the real table rows: exp→mat is a declared
+// edge, des→exp inverts the layering (finding), des→plan is a conscious
+// exception riding an allow, and newpkg is absent from the table
+// entirely.
+func TestLayering(t *testing.T) {
+	analysistest.RunDeps(t, "testdata", []string{
+		"layering/internal/mat",
+		"layering/internal/plan",
+		"layering/internal/exp",
+		"layering/internal/des",
+		"layering/internal/newpkg",
+	}, analysis.Layering)
+}

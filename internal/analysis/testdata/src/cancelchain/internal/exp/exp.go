@@ -1,0 +1,29 @@
+// Package exp (a restricted path) drives the chain: its unbounded loops
+// are legal only when the callee provably polls, two fact hops away.
+package exp
+
+import (
+	"context"
+
+	"cancelchain/internal/mid"
+)
+
+// Drive's loop calls mid.Pump, which polls via src.Wait — the
+// ChecksCancelFact round-trips across all three packages, so no finding.
+func Drive(ctx context.Context) {
+	for {
+		if mid.Pump(ctx) != nil {
+			return
+		}
+	}
+}
+
+// Stall's callee accepts a ctx but is known (by absence of a fact on a
+// module-internal function) not to poll, so the loop is a finding.
+func Stall(ctx context.Context) {
+	for { // want `unbounded loop in Stall never polls cancellation`
+		if mid.Stall(ctx) != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package mid is the middle hop: Pump never touches ctx.Err itself —
+// its polling is inherited from src.Wait through the imported fact, and
+// re-exported as a fact of Pump's own.
+package mid
+
+import (
+	"context"
+
+	"cancelchain/internal/src"
+)
+
+func Pump(ctx context.Context) error {
+	return src.Wait(ctx)
+}
+
+func Stall(ctx context.Context) error {
+	return src.Opaque(ctx)
+}

@@ -1,0 +1,17 @@
+// Package src is the bottom of the three-package fact chain: Wait polls
+// its context directly, so cancelflow exports a ChecksCancelFact for it.
+package src
+
+import "context"
+
+func Wait(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Opaque accepts a context but never consults it: no fact, and because
+// the package path is module-internal, callers get no benefit of the
+// doubt either.
+func Opaque(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

@@ -1,0 +1,105 @@
+package exp
+
+import "context"
+
+// Rule 1: library code never fabricates a root context.
+func root() context.Context {
+	return context.Background() // want `context.Background fabricates a root context`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO fabricates a root context`
+}
+
+// The allow path: a sanctioned compat shim carries the reason in place.
+func rootAllowed() context.Context {
+	//netlint:allow cancelflow fixture: sanctioned no-cancellation compat shim
+	return context.Background()
+}
+
+func helper(ctx context.Context, n int) int {
+	if ctx != nil && ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// Rule 2: a handle-holding function must not drop the handle.
+func holder(ctx context.Context) int {
+	a := helper(nil, 1) // want `nil context passed to helper`
+	return a + helper(ctx, 2)
+}
+
+// Rule 3: unbounded loops in handle-holding functions must poll.
+func loopBad(ctx context.Context) int {
+	n := 0
+	for n < 1000 { // want `unbounded loop in loopBad never polls cancellation`
+		n++
+	}
+	return n
+}
+
+func loopGood(ctx context.Context) int {
+	n := 0
+	for n < 1000 {
+		if ctx.Err() != nil {
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+// An unbounded loop that calls a same-package poller is clean: the polls
+// set is a fixpoint over local calls.
+func loopViaCallee(ctx context.Context) int {
+	n := 0
+	for n < 1000 {
+		n = helper(ctx, n+1)
+	}
+	return n
+}
+
+func loopAllowed(ctx context.Context) int {
+	n := 0
+	//netlint:allow cancelflow fixture: loop is bounded by construction
+	for n < 1000 {
+		n++
+	}
+	return n
+}
+
+// Three-clause and range loops are counted sweeps: no polling required.
+func boundedLoops(ctx context.Context, xs []int) int {
+	s := 0
+	for i := 0; i < 10; i++ {
+		s += i
+	}
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Config-struct handles count: an exported context field is a handle.
+type config struct {
+	Ctx context.Context
+}
+
+func structHolder(cfg config) int {
+	n := 0
+	for n < 1000 { // want `unbounded loop in structHolder never polls cancellation`
+		n++
+	}
+	return n
+}
+
+// A function without a handle is out of scope for rules 2 and 3: this
+// loop provably makes progress without any cancellation to honor.
+func noHandle(limit int) int {
+	n := 0
+	for n < limit {
+		n++
+	}
+	return n
+}

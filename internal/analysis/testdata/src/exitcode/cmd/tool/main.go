@@ -1,0 +1,34 @@
+// Command tool exits every way a command can, right and wrong.
+package main
+
+import (
+	"log"
+	"os"
+
+	"exitcode/internal/cli"
+)
+
+// run returns codes from the vocabulary; main forwards them verbatim.
+func run() int {
+	if len(os.Args) > 1 {
+		return cli.ExitFailure
+	}
+	return cli.ExitOK
+}
+
+func main() {
+	switch len(os.Args) {
+	case 9:
+		os.Exit(3) // want `os.Exit argument is not part of the exit-code vocabulary`
+	case 8:
+		log.Fatal("bare fatal") // want `log.Fatal hides an exit`
+	case 7:
+		panic("boom") // want `panic in command code unwinds to exit status 2`
+	case 6:
+		//netlint:allow exitcode fixture: a prototype flag carves one code outside the vocabulary, consciously
+		os.Exit(4)
+	case 5:
+		os.Exit(cli.ExitUsage) // clean: vocabulary constant
+	}
+	os.Exit(run()) // clean: the run() idiom
+}

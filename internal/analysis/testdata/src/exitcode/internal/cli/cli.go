@@ -1,0 +1,11 @@
+// Package cli mirrors the real internal/cli exit vocabulary: the
+// analyzer sanctions constants by their defining package's path.
+package cli
+
+// Exit codes the fleet supervisor understands.
+const (
+	ExitOK          = 0
+	ExitFailure     = 1
+	ExitUsage       = 2
+	ExitInterrupted = 130
+)

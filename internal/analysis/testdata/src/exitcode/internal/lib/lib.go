@@ -1,0 +1,23 @@
+// Package lib is library code: it must return errors, never exit.
+package lib
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+// Abort takes the retry/quarantine decision away from the owning command.
+func Abort() {
+	os.Exit(1) // want `os.Exit in library package`
+}
+
+// Fail hides the same exit inside a log call.
+func Fail(err error) {
+	log.Fatalf("lib: %v", err) // want `log.Fatalf hides an exit`
+}
+
+// Report is what library code does instead.
+func Report() error {
+	return errors.New("lib: told the caller, kept the process")
+}

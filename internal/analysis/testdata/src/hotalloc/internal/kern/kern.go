@@ -1,0 +1,18 @@
+// Package kern is the definer side of the hotalloc fact chain.
+package kern
+
+// Clean is a pure arena kernel: annotated, checked allocation-free, and
+// exported to downstream hotpaths as a HotpathFact.
+//
+//netlint:hotpath
+func Clean(out, a []float64) {
+	for i := range out {
+		out[i] = 2 * a[i]
+	}
+}
+
+// Dirty allocates and is deliberately not annotated: calling it from an
+// annotated function in another package is a finding.
+func Dirty(n int) []float64 {
+	return make([]float64, n)
+}

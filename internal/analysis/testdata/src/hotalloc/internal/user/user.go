@@ -1,0 +1,66 @@
+package user
+
+import (
+	"fmt"
+
+	"hotalloc/internal/kern"
+)
+
+func sink(v any) { _ = v }
+
+func local(xs []float64) float64 { return xs[0] }
+
+// step exercises every banned construct plus the clean idioms.
+//
+//netlint:hotpath
+func step(out, a, scratch []float64) {
+	kern.Clean(out, a) // clean: the callee carries a HotpathFact
+	_ = kern.Dirty(3)  // want `calls kern.Dirty, which is not //netlint:hotpath`
+
+	scratch = scratch[:0]
+	scratch = append(scratch, out...) // clean: reset above is the capacity hint
+	_ = append(out[:0], a...)         // clean: inline reslice hint
+
+	grown := append(a, 1) // want `appends to a without a capacity hint`
+	_ = grown
+
+	buf := make([]float64, 8) // want `allocates with make`
+	_ = buf
+
+	//netlint:allow hotalloc fixture: one-time growth amortized across refills
+	allowed := make([]float64, 8)
+	_ = allowed
+
+	p := new(int) // want `allocates with new`
+	_ = p
+
+	m := map[int]int{} // want `builds a map literal`
+	_ = m
+
+	s := []int{1, 2} // want `builds a slice literal`
+	_ = s
+
+	v := pair{1, 2} // clean: struct literals stay on the stack
+	t := &task{}    // clean: the pool-dispatch idiom
+	_, _ = v, t
+
+	f := func() {} // want `builds a closure`
+	f()
+
+	go local(a) // want `spawns a goroutine`
+
+	_ = fmt.Sprintf("%v", len(a)) // want `calls fmt.Sprintf, which allocates`
+
+	sink(a)      // want `boxes a float slice into an interface parameter of sink`
+	sink(len(a)) // clean: boxing an int is not a float-slice box
+	_ = local(a) // clean: same-package callees are in the same review unit
+}
+
+type pair struct{ x, y float64 }
+type task struct{ out []float64 }
+
+// unannotated allocates freely: the analyzer only binds functions that
+// opted in.
+func unannotated() []float64 {
+	return append([]float64{}, 1, 2, 3)
+}

@@ -1,0 +1,80 @@
+// Package a journals records through a forwarding wrapper, the shape of
+// exp's gobEncode: the fixpoint must mark EncodeAny a sink and check the
+// types rooted at its call sites.
+package a
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// EncodeAny forwards v into a gob encoder, so it becomes a sink in
+// parameter position 0 and exports a GobSinkFact for package b.
+func EncodeAny(v any) error {
+	var buf bytes.Buffer
+	return gob.NewEncoder(&buf).Encode(v)
+}
+
+// Good is gob-stable: exported fields, no maps, no chans, no funcs.
+type Good struct {
+	Name  string
+	Score float64
+	Runs  []int
+}
+
+// BadMap journals in random iteration order.
+type BadMap struct {
+	Name    string
+	Elapsed map[string]float64
+}
+
+type badHidden struct {
+	Visible float64
+	hidden  int
+}
+
+// BadChan fails Encode at runtime.
+type BadChan struct {
+	C chan int
+}
+
+// BadFunc fails Encode at runtime.
+type BadFunc struct {
+	F func() error
+}
+
+// Sealed controls its own wire form: its unexported internals are fine.
+type Sealed struct {
+	raw []byte
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s *Sealed) GobEncode() ([]byte, error) { return s.raw, nil }
+
+// GobDecode implements gob.GobDecoder.
+func (s *Sealed) GobDecode(b []byte) error { s.raw = append(s.raw[:0], b...); return nil }
+
+func roundTrip() {
+	g := Good{Name: "ok", Score: 1, Runs: []int{1, 2}}
+	_ = EncodeAny(&g) // clean: every reachable field is stable
+
+	m := BadMap{Name: "t"}
+	_ = EncodeAny(&m) // want `contains a map`
+
+	var h badHidden
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(&h) // want `has unexported field hidden`
+
+	f := BadFunc{}
+	_ = EncodeAny(&f) // want `contains a func value`
+
+	ch := BadChan{}
+	//netlint:allow journalsafe fixture: the chan field is scrubbed to nil before this record is journaled
+	_ = EncodeAny(&ch)
+
+	s := Sealed{}
+	_ = EncodeAny(&s) // clean: GobEncode makes the type opaque
+
+	var back Good
+	_ = gob.NewDecoder(&buf).Decode(&back) // clean: Decode roots are checked too
+}

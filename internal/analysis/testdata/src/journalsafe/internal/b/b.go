@@ -1,0 +1,26 @@
+// Package b never mentions encoding/gob: its only route into the
+// journal is a.EncodeAny, known to be a sink purely through the
+// GobSinkFact exported while package a was analyzed.
+package b
+
+import "journalsafe/internal/a"
+
+// LocalGood is stable.
+type LocalGood struct {
+	Tag string
+	N   int
+}
+
+// LocalBad has a map field.
+type LocalBad struct {
+	Tag  string
+	Seen map[int]bool
+}
+
+func journal() {
+	g := LocalGood{Tag: "x"}
+	_ = a.EncodeAny(&g) // clean
+
+	rec := LocalBad{Tag: "y"}
+	_ = a.EncodeAny(&rec) // want `contains a map`
+}

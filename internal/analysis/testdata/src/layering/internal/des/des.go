@@ -1,0 +1,12 @@
+// Package des is an L0 leaf: importing up the stack inverts the DAG and
+// must name the forbidden edge.
+package des
+
+import (
+	"layering/internal/exp" // want `forbidden import edge internal/des -> internal/exp: not in the layering table`
+
+	//netlint:allow layering fixture: a consciously declared exception rides on an allow naming the edge
+	"layering/internal/plan"
+)
+
+func Tick() float64 { return exp.Run() + float64(plan.Steps()) }

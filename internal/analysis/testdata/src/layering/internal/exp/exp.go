@@ -1,0 +1,7 @@
+// Package exp sits above mat in the DAG; this import edge is in the
+// table, so the file is clean.
+package exp
+
+import "layering/internal/mat"
+
+func Run() float64 { return mat.Scale(21) }

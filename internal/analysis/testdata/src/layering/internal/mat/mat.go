@@ -1,0 +1,5 @@
+// Package mat is an L0 leaf in the fixture DAG: it may import nothing
+// module-internal.
+package mat
+
+func Scale(x float64) float64 { return 2 * x }

@@ -1,0 +1,5 @@
+// Package newpkg is not declared in the layering table: a new package
+// must take a position in the DAG when it is born.
+package newpkg // want `package internal/newpkg is missing from the layering table`
+
+func Noop() {}

@@ -1,0 +1,5 @@
+// Package plan mirrors the real L5 orchestration package: a legal
+// position in the table, used by the des fixture as a forbidden target.
+package plan
+
+func Steps() int { return 3 }

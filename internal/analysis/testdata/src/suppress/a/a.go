@@ -18,15 +18,17 @@ func sameLine(x, y float64) bool {
 	return x == y //netlint:allow floatsafe fixture: same-line suppression
 }
 
-// An allow naming a different analyzer does not suppress this one.
+// An allow naming a different analyzer does not suppress this one — and,
+// having silenced nothing, is itself reported as decorative.
 func wrongAnalyzer(x, y float64) bool {
-	//netlint:allow checkederr fixture: names a different analyzer
+	//netlint:allow checkederr fixture: names a different analyzer // want `netlint:allow checkederr suppresses nothing`
 	return x == y // want `float == comparison is NaN-oblivious`
 }
 
-// An allow more than one line above is out of range.
+// An allow more than one line above is out of range, so the diagnostic
+// survives and the allow is decorative.
 func tooFar(x, y float64) bool {
-	//netlint:allow floatsafe fixture: one blank line breaks adjacency
+	//netlint:allow floatsafe fixture: one blank line breaks adjacency // want `netlint:allow floatsafe suppresses nothing`
 
 	return x == y // want `float == comparison is NaN-oblivious`
 }

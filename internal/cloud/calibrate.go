@@ -329,6 +329,7 @@ func pairProbe(c Cluster, rng *rand.Rand, cfg *CalibrationConfig, cal *Calibrati
 // carries a quality score, and pairs that stay unmeasurable are marked
 // missing rather than repaired — callers run masked RPCA over the gaps.
 func Calibrate(c Cluster, rng *rand.Rand, cfg CalibrationConfig) *Calibration {
+	//netlint:allow cancelflow Calibrate is the documented no-cancellation compat shim over CalibrateCtx; this Background root never outlives the call
 	cal, _ := CalibrateCtx(context.Background(), c, rng, cfg)
 	return cal
 }
@@ -497,6 +498,7 @@ func (tc *TemporalCalibration) Coverage() float64 {
 // idle time and stacks them into TP-matrices. steps is the paper's "time
 // step" tuning parameter (default 10).
 func CalibrateTP(c Cluster, rng *rand.Rand, steps int, gap float64, cfg CalibrationConfig) *TemporalCalibration {
+	//netlint:allow cancelflow CalibrateTP is the documented no-cancellation compat shim over CalibrateTPCtx
 	tc, _ := CalibrateTPCtx(context.Background(), c, rng, steps, gap, cfg)
 	return tc
 }

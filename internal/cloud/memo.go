@@ -143,6 +143,7 @@ func (m *CalibrationMemo) put(key CalibrationKey, tc *TemporalCalibration) {
 // concurrently. A compute error is returned to every waiter and nothing
 // is cached, so the next request retries.
 func (m *CalibrationMemo) GetOrCompute(key CalibrationKey, compute func() (*TemporalCalibration, error)) (*TemporalCalibration, error) {
+	//netlint:allow cancelflow GetOrCompute is the documented non-cancellable compat shim over GetOrComputeCtx
 	return m.GetOrComputeCtx(context.Background(), key, compute)
 }
 

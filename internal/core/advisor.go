@@ -103,6 +103,7 @@ func NewAdvisor(c cloud.Cluster, rng *rand.Rand, cfg AdvisorConfig) *Advisor {
 // Calibrate measures the TP-matrix and runs the RPCA analysis (Algorithm 1
 // lines 1–2). It returns the error of the RPCA solver, if any.
 func (a *Advisor) Calibrate() error {
+	//netlint:allow cancelflow Calibrate is the documented no-cancellation compat shim over CalibrateCtx
 	return a.CalibrateCtx(context.Background())
 }
 
@@ -125,6 +126,7 @@ func (a *Advisor) CalibrateCtx(ctx context.Context) error {
 // AnalyzeCalibration installs a pre-recorded temporal calibration (e.g.
 // from a replayed trace) instead of measuring a fresh one.
 func (a *Advisor) AnalyzeCalibration(tc *cloud.TemporalCalibration) error {
+	//netlint:allow cancelflow AnalyzeCalibration is the documented no-cancellation compat shim over AnalyzeCalibrationCtx
 	return a.AnalyzeCalibrationCtx(context.Background(), tc)
 }
 

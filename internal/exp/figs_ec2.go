@@ -325,9 +325,11 @@ func Fig8ClusterSize(cfg Config) (*Fig8Result, error) {
 	// Each cluster size is an independent world — its own provider,
 	// cluster and advisor — so the sizes run as parallel sweep points.
 	sizes := []int{cfg.SmallVMs, cfg.VMs}
+	// Journaled per point (journalsafe): named fields, not a map, so the
+	// gob bytes of a point are reproducible run to run.
 	type fig8Point struct {
-		Imp    map[string]float64
-		Spread int
+		Broadcast, Scatter, Mapping float64
+		Spread                      int
 	}
 	pts := make([]fig8Point, len(sizes))
 	err := sweepPoints(cfg, "fig8", pts, func(i int, _ *rand.Rand) error {
@@ -352,19 +354,25 @@ func Fig8ClusterSize(cfg Config) (*Fig8Result, error) {
 				sums[s]["mapping"] += e.mappingElapsed(s, task, snap)
 			}
 		}
-		imp := map[string]float64{}
-		for _, app := range []string{"broadcast", "scatter", "mapping"} {
-			imp[app] = stats.RelImprovement(sums[core.Baseline][app], sums[core.RPCA][app])
+		imp := func(app string) float64 {
+			return stats.RelImprovement(sums[core.Baseline][app], sums[core.RPCA][app])
 		}
-		pts[i] = fig8Point{Imp: imp, Spread: e.cluster.RackSpread()}
+		pts[i] = fig8Point{
+			Broadcast: imp("broadcast"),
+			Scatter:   imp("scatter"),
+			Mapping:   imp("mapping"),
+			Spread:    e.cluster.RackSpread(),
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, n := range sizes {
-		res.Improvement[n] = pts[i].Imp
-		res.Table.AddRow(fmt.Sprint(n), pct(pts[i].Imp["broadcast"]), pct(pts[i].Imp["scatter"]), pct(pts[i].Imp["mapping"]), fmt.Sprint(pts[i].Spread))
+		res.Improvement[n] = map[string]float64{
+			"broadcast": pts[i].Broadcast, "scatter": pts[i].Scatter, "mapping": pts[i].Mapping,
+		}
+		res.Table.AddRow(fmt.Sprint(n), pct(pts[i].Broadcast), pct(pts[i].Scatter), pct(pts[i].Mapping), fmt.Sprint(pts[i].Spread))
 	}
 	return res, nil
 }

@@ -295,7 +295,15 @@ func ExtWorkflow(cfg Config) (*ExtWorkflowResult, error) {
 			dag:  workflow.RandomDAG(e.rng, 5, cfg.VMs/2, 4<<20, 32<<20, 5e8, 2e9),
 		}
 	}
-	evals := make([]map[string]float64, cfg.Runs)
+	// Journaled per point (journalsafe): a slice of named pairs in fixed
+	// scheduler order instead of a map, so a point's gob bytes are
+	// reproducible run to run.
+	type wfEval struct {
+		Scheduler string
+		Makespan  float64
+	}
+	schedulers := []string{"round-robin", "HEFT (blind)", "HEFT + Heuristics", "HEFT + RPCA"}
+	evals := make([][]wfEval, cfg.Runs)
 	if err := sweepPoints(cfg, "ext-workflow", evals, func(r int, _ *rand.Rand) error {
 		in := inputs[r]
 		plans := map[string][]int{}
@@ -309,13 +317,17 @@ func ExtWorkflow(cfg Config) (*ExtWorkflowResult, error) {
 		if s, err := workflow.HEFT(in.dag, cfg.VMs, flopRate, e.advisor.Constant()); err == nil {
 			plans["HEFT + RPCA"] = s.VMOf
 		}
-		ms := map[string]float64{}
-		for name, assign := range plans {
+		var ms []wfEval
+		for _, name := range schedulers {
+			assign, ok := plans[name]
+			if !ok {
+				continue
+			}
 			v, err := workflow.Evaluate(in.dag, assign, cfg.VMs, flopRate, in.snap)
 			if err != nil {
 				return err
 			}
-			ms[name] = v
+			ms = append(ms, wfEval{Scheduler: name, Makespan: v})
 		}
 		evals[r] = ms
 		return nil
@@ -324,8 +336,8 @@ func ExtWorkflow(cfg Config) (*ExtWorkflowResult, error) {
 	}
 	sums := map[string]float64{}
 	for r := 0; r < cfg.Runs; r++ {
-		for name, v := range evals[r] {
-			sums[name] += v
+		for _, ev := range evals[r] {
+			sums[ev.Scheduler] += ev.Makespan
 		}
 	}
 	res := &ExtWorkflowResult{

@@ -204,6 +204,7 @@ func Fig10ErrorImpact(cfg Config, targets []float64) (*Fig10Result, error) {
 		}
 	}
 	points := make([]fig10Point, len(inputs))
+	//netlint:allow journalsafe replayStudy.Elapsd is a map, so fig10 journal bytes are not reproducible; decode is still correct and replay is slot-addressed by provenance key — flattening the study is deferred
 	if err := sweepPoints(cfg, "fig10", points, func(i int, _ *rand.Rand) error {
 		in := inputs[i]
 		target := targets[i/noiseSeeds]
@@ -295,6 +296,7 @@ func Fig11Detailed(cfg Config) (*Fig11Result, error) {
 		inputs[seed].replayRNG = stats.Split(e.rng, 100+seed)
 	}
 	points := make([]fig11Point, noiseSeeds)
+	//netlint:allow journalsafe replayStudy.Elapsd is a map, so fig11 journal bytes are not reproducible; decode is still correct and replay is slot-addressed by provenance key — flattening the study is deferred
 	if err := sweepPoints(cfg, "fig11", points, func(i int, _ *rand.Rand) error {
 		in := inputs[i]
 		noisy, a, err := TargetNormE(tr, cfg.TimeStep, 0.2, in.noiseRNG)

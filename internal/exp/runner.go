@@ -50,6 +50,7 @@ func (c Config) context() context.Context {
 	if c.Ctx != nil {
 		return c.Ctx
 	}
+	//netlint:allow cancelflow Config.Ctx nil means the sweep runs uncancellable by design; context.Cause below needs a non-nil root
 	return context.Background()
 }
 

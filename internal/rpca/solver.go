@@ -98,6 +98,7 @@ type apgIter struct {
 // SVT on the low-rank block, soft threshold on the sparse block, iterate
 // rotation and continuation decay. It returns the unnormalized iterate
 // change and the post-SVT rank. Allocation-free after arena binding.
+//netlint:hotpath
 func (it *apgIter) step() (num float64, rank int) {
 	s := it.s
 	beta := (it.tPrev - 1) / it.t
@@ -202,6 +203,7 @@ type ialmIter struct {
 // threshold E-step (mask-confined when masked), residual, multiplier
 // update and penalty growth. Returns the residual Frobenius norm and the
 // post-SVT rank. Allocation-free after arena binding.
+//netlint:hotpath
 func (it *ialmIter) step() (resid float64, rank int) {
 	s := it.s
 	inv := 1 / it.mu

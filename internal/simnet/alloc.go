@@ -159,7 +159,6 @@ func (s *Sim) fillSpanBottleneck(sp compSpan) {
 		}
 		level = level[:0]
 		for k := sp.linkLo; k < sp.linkHi; k++ {
-			//netlint:allow floatsafe level membership is exact equality with the round minimum computed from the same pre-round state
 			if s.fillUnfix[k] > 0 && s.fillCap[k]/float64(s.fillUnfix[k]) == minShare {
 				level = append(level, k)
 			}
@@ -226,7 +225,6 @@ func (s *Sim) bottleneckRates() map[int64]float64 {
 		}
 		level = level[:0]
 		for _, l := range occupied {
-			//netlint:allow floatsafe level membership is exact equality with the round minimum computed from the same pre-round state
 			if nUnfix[l] > 0 && capLeft[l]/float64(nUnfix[l]) == minShare {
 				level = append(level, l)
 			}

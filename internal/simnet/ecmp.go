@@ -48,14 +48,18 @@ func pairHash(src, dst int) uint64 {
 // next hop. BFS scratch lives on the Sim (routing runs on the single
 // event-loop goroutine), so steady-state routing of a cached pair set
 // allocates only the returned path.
+//netlint:hotpath
 func (s *Sim) routeFor(src, dst int) (path []topo.LinkID, multi bool, err error) {
 	t := s.Topo
 	n := t.NumNodes()
 	if src < 0 || src >= n || dst < 0 || dst >= n {
+		//netlint:allow hotalloc error construction sits on the invalid-endpoint path, never on steady-state routing
 		return nil, false, fmt.Errorf("%w: route endpoints (%d,%d), %d nodes", topo.ErrNodeRange, src, dst, n)
 	}
 	if len(s.ecmpDist) < n {
+		//netlint:allow hotalloc BFS scratch grows once per topology size, then is reused for every routed pair
 		s.ecmpDist = make([]int32, n)
+		//netlint:allow hotalloc BFS scratch grows once per topology size, then is reused for every routed pair
 		s.ecmpQueue = make([]int32, 0, n)
 	}
 	dist := s.ecmpDist[:n]
@@ -82,10 +86,12 @@ func (s *Sim) routeFor(src, dst int) (path []topo.LinkID, multi bool, err error)
 	}
 	s.ecmpQueue = queue[:0]
 	if dist[src] < 0 {
+		//netlint:allow hotalloc error construction sits on the disconnected-pair path, never on steady-state routing
 		return nil, false, fmt.Errorf("%w: from %d to %d", topo.ErrNoPath, src, dst)
 	}
 	// Hash-walk the shortest-path DAG toward dst.
 	h := pairHash(src, dst)
+	//netlint:allow hotalloc the returned path is the one by-design allocation (see doc comment); StartFlow caches it per pair
 	path = make([]topo.LinkID, 0, dist[src])
 	for cur := src; cur != dst; {
 		d := dist[cur]

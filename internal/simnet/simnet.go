@@ -335,6 +335,8 @@ const shardParMinFlows = 64
 // component (a joint fill's selections restricted to one component occur
 // in that component's local-min order and touch only its state), so the
 // result is byte-identical at any worker count, sharded or not.
+//
+//netlint:hotpath
 func (s *Sim) fillDirty() {
 	s.fillCap = s.fillCap[:0]
 	s.fillUnfix = s.fillUnfix[:0]
@@ -355,6 +357,7 @@ func (s *Sim) fillDirty() {
 		return
 	}
 	if len(s.comps) >= 2 && len(s.dirtyFlows) >= shardParMinFlows && mat.Parallelism() > 1 {
+		//netlint:allow hotalloc one closure per sharded refill dispatch, amortized over all component fills it fans out
 		mat.ParallelShards(len(s.comps), func(c int) { s.fillSpan(s.comps[c]) })
 		return
 	}
@@ -364,6 +367,8 @@ func (s *Sim) fillDirty() {
 }
 
 // fillSpan fills one component span with the selected backend.
+//
+//netlint:hotpath
 func (s *Sim) fillSpan(sp compSpan) {
 	if s.alloc == AllocBottleneck {
 		s.fillSpanBottleneck(sp)
@@ -378,6 +383,8 @@ func (s *Sim) fillSpan(sp compSpan) {
 // discovery order. Concurrent spans are safe: a component's flows, their
 // paths, and the span's fill slots are disjoint from every other span's
 // by construction.
+//
+//netlint:hotpath
 func (s *Sim) fillSpanMaxMin(sp compSpan) {
 	remaining := sp.flowHi - sp.flowLo
 	for remaining > 0 {
