@@ -4,12 +4,16 @@
 // calibration-health fallback ladder under injected faults, and — when
 // an expdriver binary is supplied with -driver — end-to-end campaign
 // supervision (children killed, wedged, and manifest-corrupted under a
-// live expfleet-style supervisor).
+// live expfleet-style supervisor). With -daemon it also checks the
+// netconstantd restart-equivalence contract: a daemon SIGKILLed at the
+// plan's kill point and restarted on the same journals must answer
+// byte-identically to an uninterrupted twin, and a damaged tenant
+// journal must quarantine that tenant alone.
 //
 // Usage:
 //
 //	chaossoak [-seed N] [-rounds N] [-maxops N] [-driver path/to/expdriver]
-//	          [-replay plan.json] [-out report.json]
+//	          [-daemon path/to/netconstantd] [-replay plan.json] [-out report.json]
 //
 // Every campaign is fully determined by (seed, rounds, maxops): the same
 // flags replay the identical op schedule, so a CI failure reproduces
@@ -39,11 +43,12 @@ func run() int {
 	rounds := flag.Int("rounds", 3, "fault campaigns to run")
 	maxOps := flag.Int("maxops", 6, "maximum ops per generated plan")
 	driver := flag.String("driver", "", "expdriver binary: enables the fleet oracle (supervised multi-process campaigns under chaos)")
+	daemon := flag.String("daemon", "", "netconstantd binary: enables the daemon oracle (SIGKILL/restart byte-equivalence, per-tenant quarantine)")
 	replay := flag.String("replay", "", "re-run one plan from this JSON file instead of generating a campaign")
 	out := flag.String("out", "", "also write the campaign report as JSON to this path (atomically)")
 	flag.Parse()
 
-	opts := chaos.Options{Driver: *driver, Now: time.Now}
+	opts := chaos.Options{Driver: *driver, Daemon: *daemon, Now: time.Now}
 	oracles := func(p chaos.Plan) []chaos.Failure { return chaos.RunOraclesWith(p, opts) }
 
 	if *replay != "" {

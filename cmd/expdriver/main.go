@@ -42,7 +42,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -124,21 +123,7 @@ func run() int {
 	ctx, cancelRun := context.WithCancel(context.Background())
 	defer cancelRun()
 	cfg.Ctx = ctx
-	sigCh := make(chan os.Signal, 2)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sigCh)
-	go func() {
-		s, ok := <-sigCh
-		if !ok {
-			return
-		}
-		fmt.Fprintf(os.Stderr, "expdriver: %v — draining in-flight sweep points (signal again to force quit)\n", s)
-		cancelRun()
-		if s, ok := <-sigCh; ok {
-			fmt.Fprintf(os.Stderr, "expdriver: %v again — forcing exit\n", s)
-			os.Exit(cli.ExitInterrupted)
-		}
-	}()
+	defer cli.SignalDrain("expdriver", "draining in-flight sweep points", cancelRun)()
 
 	dir := *ckptDir
 	if *resume != "" {

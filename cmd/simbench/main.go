@@ -34,9 +34,7 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"os/signal"
 	"runtime"
-	"syscall"
 	"time"
 
 	"netconstant/internal/cancel"
@@ -315,16 +313,7 @@ func main() {
 	// misleading). Second signal: force quit.
 	ctx, cancelRun := context.WithCancel(context.Background())
 	defer cancelRun()
-	sigCh := make(chan os.Signal, 2)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sigCh
-		fmt.Fprintf(os.Stderr, "simbench: %v — finishing the current repetition (signal again to force quit)\n", s)
-		cancelRun()
-		s = <-sigCh
-		fmt.Fprintf(os.Stderr, "simbench: %v again — forcing exit\n", s)
-		os.Exit(cli.ExitInterrupted)
-	}()
+	defer cli.SignalDrain("simbench", "finishing the current repetition", cancelRun)()
 	bailIfInterrupted := func() {
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "simbench: interrupted — no report written")

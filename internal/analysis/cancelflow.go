@@ -59,6 +59,7 @@ var cancelflowRestricted = [][]string{
 	{"internal", "cloud"},
 	{"internal", "core"},
 	{"internal", "rpca"},
+	{"internal", "serve"},
 	{"internal", "simnet"},
 }
 

@@ -39,7 +39,7 @@ var Layering = &Analyzer{
 //	L2 infrastructure:  mpi cloud faults
 //	L3 decision:        core apps
 //	L4 experiments:     exp
-//	L5 orchestration:   plan chaos
+//	L5 orchestration:   plan chaos serve
 //	cmd/*:              each command's declared entry points only
 var layeringAllowed = map[string][]string{
 	// L0 — leaves: import nothing module-internal.
@@ -88,6 +88,10 @@ var layeringAllowed = map[string][]string{
 		"internal/exp", "internal/faults", "internal/mat", "internal/plan",
 		"internal/rpca", "internal/simnet", "internal/stats", "internal/topo",
 	},
+	"internal/serve": {
+		"internal/cancel", "internal/checkpoint", "internal/cloud", "internal/core",
+		"internal/mpi", "internal/stats", "internal/topo",
+	},
 
 	// The public facade re-exports the §IV–V pipeline.
 	"netconstant": {
@@ -96,15 +100,17 @@ var layeringAllowed = map[string][]string{
 	},
 
 	// cmd/* — each command's declared entry points.
-	"cmd/chaossoak":   {"internal/chaos", "internal/checkpoint", "internal/cli"},
-	"cmd/expdriver":   {"internal/cancel", "internal/checkpoint", "internal/cli", "internal/cloud", "internal/exp"},
-	"cmd/expfleet":    {"internal/checkpoint", "internal/cli", "internal/plan"},
-	"cmd/netconstant": {"internal/cli", "internal/cloud", "internal/core", "internal/faults", "internal/mpi", "internal/netcoord", "internal/stats", "internal/topo"},
-	"cmd/netlint":     {"internal/analysis", "internal/cli"},
-	"cmd/rpcabench":   {"internal/cli", "internal/mat", "internal/rpca"},
-	"cmd/simbench":    {"internal/cancel", "internal/cli", "internal/cloud", "internal/exp", "internal/mat", "internal/simnet", "internal/topo"},
-	"cmd/simcluster":  {"internal/cli", "internal/cloud", "internal/core", "internal/mapping", "internal/mpi", "internal/netcoord", "internal/stats", "internal/topo"},
-	"cmd/streambench": {"internal/cli", "internal/mat", "internal/rpca"},
+	"cmd/chaossoak":    {"internal/chaos", "internal/checkpoint", "internal/cli"},
+	"cmd/expdriver":    {"internal/cancel", "internal/checkpoint", "internal/cli", "internal/cloud", "internal/exp"},
+	"cmd/expfleet":     {"internal/checkpoint", "internal/cli", "internal/plan"},
+	"cmd/netconstant":  {"internal/cli", "internal/cloud", "internal/core", "internal/faults", "internal/mpi", "internal/netcoord", "internal/stats", "internal/topo"},
+	"cmd/netconstantd": {"internal/cli", "internal/serve"},
+	"cmd/netlint":      {"internal/analysis", "internal/cli"},
+	"cmd/rpcabench":    {"internal/cli", "internal/mat", "internal/rpca"},
+	"cmd/servebench":   {"internal/cli", "internal/serve", "internal/stats"},
+	"cmd/simbench":     {"internal/cancel", "internal/cli", "internal/cloud", "internal/exp", "internal/mat", "internal/simnet", "internal/topo"},
+	"cmd/simcluster":   {"internal/cli", "internal/cloud", "internal/core", "internal/mapping", "internal/mpi", "internal/netcoord", "internal/stats", "internal/topo"},
+	"cmd/streambench":  {"internal/cli", "internal/mat", "internal/rpca"},
 }
 
 // layerNormalize reduces an import path to its table key: the suffix

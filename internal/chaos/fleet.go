@@ -36,6 +36,9 @@ type Options struct {
 	// Now supplies the supervisor's wall clock. Required when Driver is
 	// set (pass time.Now from the command layer).
 	Now func() time.Time
+	// Daemon is the netconstantd binary the daemon oracle SIGKILLs and
+	// restarts; empty skips the oracle.
+	Daemon string
 }
 
 // RunOraclesWith runs every invariant oracle, including those enabled
@@ -44,6 +47,9 @@ func RunOraclesWith(p Plan, opts Options) []Failure {
 	fails := RunOracles(p)
 	if opts.Driver != "" {
 		fails = append(fails, oracleFleet(p, opts)...)
+	}
+	if opts.Daemon != "" {
+		fails = append(fails, oracleDaemon(p, opts)...)
 	}
 	return fails
 }

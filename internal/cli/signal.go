@@ -1,0 +1,37 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalDrain installs the repo-wide two-stage SIGINT/SIGTERM policy: the
+// first signal announces "<cmd>: <sig> — <action> (signal again to force
+// quit)" on stderr and calls drain (typically a context cancel) so
+// in-flight work finishes and journals; a second signal force-quits the
+// process with ExitInterrupted. The returned stop function uninstalls the
+// handler and releases its goroutine; call it when the command reaches
+// its own orderly exit path.
+func SignalDrain(cmd, action string, drain func()) (stop func()) {
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s, ok := <-sigCh
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v — %s (signal again to force quit)\n", cmd, s, action)
+		drain()
+		if s, ok := <-sigCh; ok {
+			fmt.Fprintf(os.Stderr, "%s: %v again — forcing exit\n", cmd, s)
+			//netlint:allow exitcode the second-signal force quit is this helper's contract; every command shares it
+			os.Exit(ExitInterrupted)
+		}
+	}()
+	return func() {
+		signal.Stop(sigCh)
+		close(sigCh)
+	}
+}

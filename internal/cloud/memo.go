@@ -3,6 +3,7 @@ package cloud
 import (
 	"container/list"
 	"context"
+	"math"
 	"sync"
 
 	"netconstant/internal/cancel"
@@ -41,6 +42,13 @@ type CalibrationMemo struct {
 	lru *list.List // front = most recent; values are *memoEntry
 	byK map[CalibrationKey]*list.Element
 
+	// ownerCost tracks the total measurement cost each owner currently
+	// holds in the cache. Eviction charges the costliest owner first (see
+	// put), which is what keeps a cold tenant's single entry alive while a
+	// hot tenant bursts: the burst evicts the burster's own older traces,
+	// not everyone else's.
+	ownerCost map[string]float64
+
 	hits, misses int
 	// inflight serializes concurrent computations of the same key so a
 	// parallel sweep computes each trace once instead of once per worker.
@@ -62,8 +70,20 @@ type CalibrationMemo struct {
 }
 
 type memoEntry struct {
-	key CalibrationKey
-	tc  *TemporalCalibration
+	key   CalibrationKey
+	tc    *TemporalCalibration
+	owner string
+	cost  float64
+}
+
+// entryCost prices a cached trace by its measurement volume: the probe
+// cost the substrate charged to produce it, floored at one so zero-cost
+// traces still count against their owner's share.
+func entryCost(tc *TemporalCalibration) float64 {
+	if tc == nil || tc.TotalCost <= 0 {
+		return 1
+	}
+	return tc.TotalCost
 }
 
 // memoCall is one in-flight computation; tc/err are written exactly
@@ -88,11 +108,12 @@ func NewCalibrationMemo(capacity int) *CalibrationMemo {
 		capacity = 64
 	}
 	return &CalibrationMemo{
-		cap:      capacity,
-		lru:      list.New(),
-		byK:      map[CalibrationKey]*list.Element{},
-		inflight: map[CalibrationKey]*memoCall{},
-		gens:     map[CalibrationKey]uint64{},
+		cap:       capacity,
+		lru:       list.New(),
+		byK:       map[CalibrationKey]*list.Element{},
+		ownerCost: map[string]float64{},
+		inflight:  map[CalibrationKey]*memoCall{},
+		gens:      map[CalibrationKey]uint64{},
 	}
 }
 
@@ -120,20 +141,55 @@ func (m *CalibrationMemo) Put(key CalibrationKey, tc *TemporalCalibration) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.put(key, tc.Clone())
+	m.put("", key, tc.Clone())
 }
 
-func (m *CalibrationMemo) put(key CalibrationKey, tc *TemporalCalibration) {
+func (m *CalibrationMemo) put(owner string, key CalibrationKey, tc *TemporalCalibration) {
 	if el, ok := m.byK[key]; ok {
-		el.Value.(*memoEntry).tc = tc
+		e := el.Value.(*memoEntry)
+		m.ownerCost[e.owner] -= e.cost
+		e.tc, e.owner, e.cost = tc, owner, entryCost(tc)
+		m.ownerCost[owner] += e.cost
 		m.lru.MoveToFront(el)
 		return
 	}
-	m.byK[key] = m.lru.PushFront(&memoEntry{key: key, tc: tc})
+	e := &memoEntry{key: key, tc: tc, owner: owner, cost: entryCost(tc)}
+	m.byK[key] = m.lru.PushFront(e)
+	m.ownerCost[owner] += e.cost
 	for m.lru.Len() > m.cap {
-		oldest := m.lru.Back()
-		m.lru.Remove(oldest)
-		delete(m.byK, oldest.Value.(*memoEntry).key)
+		m.removeElement(m.victim())
+	}
+}
+
+// victim picks the entry to evict when the memo is full: the least
+// recently used entry belonging to the owner holding the greatest total
+// cached cost. With a single owner this degrades to plain LRU; with many,
+// a hot tenant's burst cannibalizes its own older traces while a cold
+// tenant's lone entry survives. Ties on cost break toward the owner whose
+// entry has been idle longest, so no owner is privileged by name.
+func (m *CalibrationMemo) victim() *list.Element {
+	heaviest := math.Inf(-1)
+	var pick *list.Element
+	for el := m.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*memoEntry)
+		if c := m.ownerCost[e.owner]; c > heaviest {
+			// Walking back-to-front, the first entry seen for each owner is
+			// that owner's LRU entry, so pick lands on the heaviest owner's
+			// coldest trace.
+			heaviest = c
+			pick = el
+		}
+	}
+	return pick
+}
+
+func (m *CalibrationMemo) removeElement(el *list.Element) {
+	e := el.Value.(*memoEntry)
+	m.lru.Remove(el)
+	delete(m.byK, e.key)
+	m.ownerCost[e.owner] -= e.cost
+	if m.ownerCost[e.owner] <= 0 {
+		delete(m.ownerCost, e.owner)
 	}
 }
 
@@ -156,6 +212,16 @@ func (m *CalibrationMemo) GetOrCompute(key CalibrationKey, compute func() (*Temp
 // same ctx into its compute closure (so cancelling the whole sweep
 // still cancels the measurement).
 func (m *CalibrationMemo) GetOrComputeCtx(ctx context.Context, key CalibrationKey, compute func() (*TemporalCalibration, error)) (*TemporalCalibration, error) {
+	return m.GetOrComputeOwned(ctx, "", key, compute)
+}
+
+// GetOrComputeOwned is GetOrComputeCtx with fairness accounting: the
+// cached entry is charged to owner (a tenant ID, figure name, or any
+// stable identity), and eviction under pressure always falls on the
+// owner holding the greatest total cached cost. Multi-tenant callers
+// (the advisor daemon) pass their tenant ID here so one tenant's
+// calibration burst cannot flush everyone else's traces.
+func (m *CalibrationMemo) GetOrComputeOwned(ctx context.Context, owner string, key CalibrationKey, compute func() (*TemporalCalibration, error)) (*TemporalCalibration, error) {
 	if m == nil {
 		return compute()
 	}
@@ -196,7 +262,7 @@ func (m *CalibrationMemo) GetOrComputeCtx(ctx context.Context, key CalibrationKe
 	// computation can start while the old one is still running).
 	current := m.inflight[key] == call && m.gens[key] == call.gen && m.allGen == call.allGen
 	if err == nil && current {
-		m.put(key, tc.Clone())
+		m.put(owner, key, tc.Clone())
 	}
 	call.tc, call.err = tc, err
 	if m.inflight[key] == call {
@@ -231,8 +297,7 @@ func (m *CalibrationMemo) Invalidate(key CalibrationKey) bool {
 	if !ok {
 		return false
 	}
-	m.lru.Remove(el)
-	delete(m.byK, key)
+	m.removeElement(el)
 	return true
 }
 
@@ -248,6 +313,7 @@ func (m *CalibrationMemo) InvalidateAll() {
 	m.inflight = map[CalibrationKey]*memoCall{}
 	m.lru.Init()
 	m.byK = map[CalibrationKey]*list.Element{}
+	m.ownerCost = map[string]float64{}
 }
 
 // Stats returns hit/miss counters and the current entry count.

@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -358,5 +359,51 @@ func TestMemoInvalidateRaceStress(t *testing.T) {
 		// replay hazard the generation stamps exist to prevent. (Equal is
 		// fine: a compute that started after the final Invalidate.)
 		t.Fatalf("cache serves round %d, last invalidation was %d", int(tc.TotalCost), final)
+	}
+}
+
+// TestMemoOwnerFairness is the cross-tenant fairness regression: under a
+// shared memo, a hot tenant's burst must evict the hot tenant's own older
+// traces, never a cold tenant's lone entry.
+func TestMemoOwnerFairness(t *testing.T) {
+	m := NewCalibrationMemo(4)
+	tc := measureFor(t, memoKey(4, 500))
+
+	coldKey := memoKey(4, 501)
+	coldComputes := 0
+	if _, err := m.GetOrComputeOwned(context.Background(), "cold", coldKey, func() (*TemporalCalibration, error) {
+		coldComputes++
+		return tc.Clone(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The hot tenant bursts well past the whole capacity.
+	for i := 0; i < 10; i++ {
+		key := memoKey(4, 600+int64(i))
+		if _, err := m.GetOrComputeOwned(context.Background(), "hot", key, func() (*TemporalCalibration, error) {
+			return tc.Clone(), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if st := m.Stats(); st.Entries > 4 {
+			t.Fatalf("burst step %d: %d entries exceed capacity 4", i, st.Entries)
+		}
+	}
+
+	// The cold tenant's entry must still be a hit.
+	if _, err := m.GetOrComputeOwned(context.Background(), "cold", coldKey, func() (*TemporalCalibration, error) {
+		coldComputes++
+		return tc.Clone(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if coldComputes != 1 {
+		t.Fatalf("cold tenant recomputed %d times — its entry was evicted by the hot burst", coldComputes)
+	}
+
+	// And the hot tenant still retains the most recent traces it can hold.
+	if m.Get(memoKey(4, 609)) == nil {
+		t.Fatal("hot tenant's most recent trace should survive its own burst")
 	}
 }

@@ -79,6 +79,7 @@ type Advisor struct {
 	totalCalCost  float64
 	lastCal       *cloud.TemporalCalibration
 	recalibraions int
+	recalibrator  func(ctx context.Context) error // optional maintenance hook (SetRecalibrator)
 
 	// Divergence regime tracking (Observe): EWMA of the relative
 	// actual-vs-expected difference and the current run length of
@@ -291,13 +292,21 @@ func (a *Advisor) ExpectedTime(t *mpi.Tree, op mpi.Collective, msgBytes float64)
 // instead of a full re-calibration; a hard spike past Threshold still
 // forces the full calibrate (which closes the session).
 func (a *Advisor) Observe(expected, actual float64) (bool, error) {
+	//netlint:allow cancelflow Observe is the documented no-cancellation compat shim over ObserveCtx
+	return a.ObserveCtx(context.Background(), expected, actual)
+}
+
+// ObserveCtx is Observe with cancellation threaded into whichever
+// maintenance action the divergence triggers — the full re-calibration's
+// measurement loop and solver, or the streaming partial re-solve.
+func (a *Advisor) ObserveCtx(ctx context.Context, expected, actual float64) (bool, error) {
 	if expected <= 0 || math.IsNaN(expected) {
 		return false, nil
 	}
 	rel := math.Abs(actual-expected) / expected
 	if rel >= a.cfg.Threshold {
 		a.recalibraions++
-		return true, a.Calibrate()
+		return true, a.recalibrate(ctx)
 	}
 	a.divEWMA = 0.3*rel + 0.7*a.divEWMA
 	if a.divEWMA >= a.cfg.RegimeThreshold {
@@ -310,9 +319,26 @@ func (a *Advisor) Observe(expected, actual float64) (bool, error) {
 			return true, a.PartialResolve()
 		}
 		a.recalibraions++
-		return true, a.Calibrate()
+		return true, a.recalibrate(ctx)
 	}
 	return false, nil
+}
+
+// SetRecalibrator routes Observe-triggered full re-calibrations through f
+// instead of the advisor's own CalibrateCtx. Long-lived hosts (the
+// advisor daemon) install a hook that goes through their memoized,
+// journaled calibration path, so maintenance the regime detector fires
+// autonomously is cached and replayed exactly like a client-requested
+// calibration. A nil f restores the direct path.
+func (a *Advisor) SetRecalibrator(f func(ctx context.Context) error) { a.recalibrator = f }
+
+// recalibrate runs a maintenance-triggered full calibration, through the
+// installed hook when one is set.
+func (a *Advisor) recalibrate(ctx context.Context) error {
+	if a.recalibrator != nil {
+		return a.recalibrator(ctx)
+	}
+	return a.CalibrateCtx(ctx)
 }
 
 // DivergenceEWMA exposes the current smoothed actual-vs-expected relative

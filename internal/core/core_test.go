@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -302,5 +303,41 @@ func TestAdvisorSeedRobustness(t *testing.T) {
 		if rpcaErr > 0.12 {
 			t.Errorf("seed %d: constant recovery error %.3f", seed, rpcaErr)
 		}
+	}
+}
+
+// TestAdvisorRecalibratorHook: an installed recalibrator owns every
+// Observe-triggered full calibration (the daemon's memo/journal path),
+// and clearing it restores the direct CalibrateCtx route.
+func TestAdvisorRecalibratorHook(t *testing.T) {
+	_, vc := testCluster(t, 6, 31)
+	adv := NewAdvisor(vc, stats.NewRNG(4), AdvisorConfig{Threshold: 0.5})
+	if err := adv.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	calsBefore := adv.Calibrations()
+	hooked := 0
+	adv.SetRecalibrator(func(ctx context.Context) error {
+		hooked++
+		return nil
+	})
+	tr := adv.PlanTree(RPCA, 0, 1<<20, nil, nil)
+	exp := adv.ExpectedTime(tr, mpi.Broadcast, 1<<20)
+	trig, err := adv.ObserveCtx(context.Background(), exp, exp*3)
+	if err != nil || !trig {
+		t.Fatalf("spike should trigger maintenance (trig=%v err=%v)", trig, err)
+	}
+	if hooked != 1 {
+		t.Fatalf("hook ran %d times, want 1", hooked)
+	}
+	if adv.Calibrations() != calsBefore {
+		t.Fatalf("hooked maintenance must not run the direct calibration path (%d -> %d)", calsBefore, adv.Calibrations())
+	}
+	adv.SetRecalibrator(nil)
+	if trig, err = adv.Observe(exp, exp*3); err != nil || !trig {
+		t.Fatalf("direct path after clearing hook (trig=%v err=%v)", trig, err)
+	}
+	if adv.Calibrations() != calsBefore+1 {
+		t.Fatalf("direct maintenance should calibrate (%d -> %d)", calsBefore, adv.Calibrations())
 	}
 }

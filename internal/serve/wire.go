@@ -1,0 +1,276 @@
+package serve
+
+// The HTTP/JSON wire surface of the advisor daemon. Every response body
+// is a fixed-field struct (never a map), so json.Marshal produces
+// byte-identical output for identical state — the property the chaos
+// restart-equivalence oracle byte-diffs. Errors travel as
+// {"code","error"} with the code drawn from a closed vocabulary that
+// clients (and the oracle) can switch on.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"netconstant/internal/cancel"
+	"netconstant/internal/core"
+)
+
+// ErrOverloaded is the typed admission-control refusal: the target
+// shard's queue is full, so the request is shed instead of queued
+// unboundedly. Clients should back off and retry (HTTP 429).
+var ErrOverloaded = errors.New("serve: shard queue full — request shed")
+
+// ErrDraining is returned once the server has begun its shutdown drain:
+// no new work is admitted, in-flight work finishes, snapshots seal.
+var ErrDraining = errors.New("serve: draining — not admitting new requests")
+
+// Sentinels for the remaining refusal classes; writeError maps them to
+// status codes and wire codes.
+var (
+	errNotFound    = errors.New("serve: no such tenant")
+	errExists      = errors.New("serve: tenant already exists")
+	errBadRequest  = errors.New("serve: bad request")
+	errQuarantined = errors.New("serve: tenant quarantined — journal damaged")
+)
+
+// TenantConfig declares a tenant's virtual cluster and advisor. The
+// zero value of each field selects the defaults in parentheses; the
+// config is journaled verbatim as the tenant's create record, so a
+// restarted daemon rebuilds the identical seeded substrate.
+type TenantConfig struct {
+	VMs            int     `json:"vms"`              // cluster size (16)
+	Seed           int64   `json:"seed"`             // provenance seed for provider, provisioning, and measurement rng streams
+	Steps          int     `json:"steps"`            // TP-matrix calibration rows (10)
+	Racks          int     `json:"racks"`            // datacenter racks (16)
+	ServersPerRack int     `json:"servers_per_rack"` // servers per rack (16)
+	Gap            float64 `json:"gap"`              // idle seconds between calibration rows (5)
+	Threshold      float64 `json:"threshold"`        // maintenance threshold (advisor default 1.0)
+	Resilient      bool    `json:"resilient"`        // retrying, outlier-rejecting calibration probes
+}
+
+func (c *TenantConfig) applyDefaults() {
+	if c.VMs == 0 {
+		c.VMs = 16
+	}
+	if c.Steps == 0 {
+		c.Steps = 10
+	}
+	if c.Racks == 0 {
+		c.Racks = 16
+	}
+	if c.ServersPerRack == 0 {
+		c.ServersPerRack = 16
+	}
+	if c.Gap == 0 {
+		c.Gap = 5
+	}
+}
+
+func (c TenantConfig) validate() error {
+	if c.VMs < 2 {
+		return errf("vms must be ≥ 2, got %d", c.VMs)
+	}
+	if c.Racks < 1 || c.ServersPerRack < 1 {
+		return errf("racks and servers_per_rack must be ≥ 1, got %d×%d", c.Racks, c.ServersPerRack)
+	}
+	if c.VMs > c.Racks*c.ServersPerRack {
+		return errf("vms %d exceed datacenter capacity %d", c.VMs, c.Racks*c.ServersPerRack)
+	}
+	if c.Steps < 1 {
+		return errf("steps must be ≥ 1, got %d", c.Steps)
+	}
+	if c.Gap < 0 || c.Threshold < 0 {
+		return errf("gap and threshold must be ≥ 0")
+	}
+	return nil
+}
+
+// ObserveRequest reports a measured collective duration against the
+// advisor's expectation (Algorithm 1 lines 4–9).
+type ObserveRequest struct {
+	Expected float64 `json:"expected"`
+	Actual   float64 `json:"actual"`
+}
+
+// ObserveResponse reports whether the divergence triggered maintenance.
+type ObserveResponse struct {
+	Tenant    string `json:"tenant"`
+	Triggered bool   `json:"triggered"`
+	Seq       uint64 `json:"seq"`
+}
+
+// AdvanceRequest moves the tenant's cluster clock forward dt seconds.
+type AdvanceRequest struct {
+	Dt float64 `json:"dt"`
+}
+
+// StreamPairRequest feeds a re-measured pair column into the tenant's
+// streaming session: the latency and bandwidth time series (length =
+// Steps) for the src→dst column of the TP-matrices.
+type StreamPairRequest struct {
+	Src int       `json:"src"`
+	Dst int       `json:"dst"`
+	Lat []float64 `json:"lat"`
+	Bw  []float64 `json:"bw"`
+}
+
+// AdviseRequest asks for a collective tree under a strategy. Strategy is
+// one of "baseline", "heuristics", "rpca" (default), "topology".
+type AdviseRequest struct {
+	Strategy string  `json:"strategy"`
+	Root     int     `json:"root"`
+	MsgBytes float64 `json:"msg_bytes"`
+}
+
+// AdviseResponse is the planned tree plus the degraded-mode envelope:
+// the strategy actually used after the RPCA→Heuristics→Baseline fallback
+// ladder, and the calibration-health grade that drove it. A degraded
+// answer is still an answer — the fallback surfaces in the body, not as
+// an error.
+type AdviseResponse struct {
+	Tenant        string  `json:"tenant"`
+	Requested     string  `json:"requested"`
+	Effective     string  `json:"effective"`
+	Degraded      bool    `json:"degraded"`
+	Confidence    string  `json:"confidence"`
+	Effectiveness string  `json:"effectiveness"`
+	NormE         float64 `json:"norm_e"`
+	Root          int     `json:"root"`
+	Parent        []int   `json:"parent"`
+	Depth         int     `json:"depth"`
+	ExpectedSec   float64 `json:"expected_s"`
+}
+
+// StatusResponse is the tenant's full advisor state summary.
+type StatusResponse struct {
+	Tenant          string  `json:"tenant"`
+	VMs             int     `json:"vms"`
+	Seq             uint64  `json:"seq"` // journaled mutations over the tenant's lifetime
+	ClusterTime     float64 `json:"cluster_time_s"`
+	Calibrations    int     `json:"calibrations"`
+	Recalibrations  int     `json:"recalibrations"`
+	PartialResolves int     `json:"partial_resolves"`
+	CalibrationCost float64 `json:"calibration_cost_s"`
+	NormE           float64 `json:"norm_e"`
+	Effectiveness   string  `json:"effectiveness"`
+	Confidence      string  `json:"confidence"`
+	Coverage        float64 `json:"coverage"`
+	MeanQuality     float64 `json:"mean_quality"`
+	OutlierRate     float64 `json:"outlier_rate"`
+	RetryExhaustion float64 `json:"retry_exhaustion"`
+	Streaming       bool    `json:"streaming"`
+}
+
+// ShardHealth is one shard's progress counters: queue depth and journal
+// tail growth are the "progress, not liveness" signals a supervisor
+// watches.
+type ShardHealth struct {
+	Queue       int   `json:"queue"`
+	Served      int64 `json:"served"`
+	Shed        int64 `json:"shed"`
+	Mutations   int64 `json:"mutations"`
+	Tenants     int64 `json:"tenants"`
+	JournalTail int64 `json:"journal_tail"` // records journaled past the last sealed snapshot, summed over the shard's tenants
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status      string        `json:"status"` // "ok" or "draining"
+	Shards      []ShardHealth `json:"shards"`
+	Quarantined []string      `json:"quarantined"`
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+func errf(format string, args ...any) error {
+	return wrapf(errBadRequest, format, args...)
+}
+
+func wrapf(sentinel error, format string, args ...any) error {
+	return &wireError{sentinel: sentinel, msg: fmt.Sprintf(format, args...)}
+}
+
+type wireError struct {
+	sentinel error
+	msg      string
+}
+
+func (e *wireError) Error() string { return e.sentinel.Error() + ": " + e.msg }
+func (e *wireError) Unwrap() error { return e.sentinel }
+
+// parseStrategy maps the wire strategy vocabulary onto core.Strategy.
+func parseStrategy(s string) (core.Strategy, error) {
+	switch s {
+	case "", "rpca":
+		return core.RPCA, nil
+	case "baseline":
+		return core.Baseline, nil
+	case "heuristics":
+		return core.Heuristics, nil
+	case "topology":
+		return core.TopologyAware, nil
+	}
+	return 0, errf("unknown strategy %q (want baseline|heuristics|rpca|topology)", s)
+}
+
+// wireStrategy is the inverse mapping for response bodies.
+func wireStrategy(s core.Strategy) string {
+	switch s {
+	case core.Baseline:
+		return "baseline"
+	case core.Heuristics:
+		return "heuristics"
+	case core.RPCA:
+		return "rpca"
+	case core.TopologyAware:
+		return "topology"
+	}
+	return "unknown"
+}
+
+// writeJSON writes v with a trailing newline. Marshal of the fixed-field
+// response structs cannot fail; a failure here is a programming error
+// surfaced as a 500.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"code":"internal","error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(buf, '\n'))
+}
+
+// writeError maps an error to its HTTP status and wire code. The order
+// matters only for wrapped chains; each request error matches exactly
+// one sentinel.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, "internal"
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		status, code = http.StatusTooManyRequests, "overloaded"
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrDraining):
+		status, code = http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, cancel.ErrCanceled):
+		status, code = http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, errQuarantined):
+		status, code = http.StatusGone, "quarantined"
+	case errors.Is(err, errNotFound):
+		status, code = http.StatusNotFound, "not-found"
+	case errors.Is(err, errExists):
+		status, code = http.StatusConflict, "exists"
+	case errors.Is(err, errBadRequest):
+		status, code = http.StatusBadRequest, "bad-request"
+	case errors.Is(err, core.ErrNotStreaming):
+		status, code = http.StatusConflict, "not-streaming"
+	}
+	writeJSON(w, status, errorBody{Code: code, Error: err.Error()})
+}
